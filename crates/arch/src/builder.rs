@@ -1,0 +1,265 @@
+//! Builder for [`Cgra`] instances.
+
+use crate::cgra::Cgra;
+use crate::{BuildCgraError, Coord, Direction, Link, LinkId, Pe, PeId};
+
+/// Builder for a mesh [`Cgra`].
+///
+/// Defaults match the paper's baseline per-PE resources: four registers per
+/// PE and no memory (add memory banks with [`memory_columns`] +
+/// [`memory_banks`], or use the ready-made [`presets`]).
+///
+/// [`memory_columns`]: CgraBuilder::memory_columns
+/// [`memory_banks`]: CgraBuilder::memory_banks
+/// [`presets`]: crate::presets
+///
+/// # Examples
+///
+/// ```
+/// use rewire_arch::CgraBuilder;
+/// # fn main() -> Result<(), rewire_arch::BuildCgraError> {
+/// let cgra = CgraBuilder::new(4, 4)
+///     .regs_per_pe(2)
+///     .memory_banks(2)
+///     .memory_columns([0])
+///     .build()?;
+/// assert_eq!(cgra.num_pes(), 16);
+/// assert_eq!(cgra.memory_banks(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CgraBuilder {
+    rows: u16,
+    cols: u16,
+    regs_per_pe: u8,
+    memory_banks: u16,
+    memory_columns: Vec<u16>,
+    torus: bool,
+    diagonals: bool,
+}
+
+impl CgraBuilder {
+    /// Starts a builder for a `rows × cols` mesh.
+    pub fn new(rows: u16, cols: u16) -> Self {
+        Self {
+            rows,
+            cols,
+            regs_per_pe: 4,
+            memory_banks: 0,
+            memory_columns: Vec::new(),
+            torus: false,
+            diagonals: false,
+        }
+    }
+
+    /// Sets the number of register cells per PE (default 4).
+    pub fn regs_per_pe(mut self, regs: u8) -> Self {
+        self.regs_per_pe = regs;
+        self
+    }
+
+    /// Sets the number of on-chip memory banks (default 0).
+    pub fn memory_banks(mut self, banks: u16) -> Self {
+        self.memory_banks = banks;
+        self
+    }
+
+    /// Declares which columns of PEs can access the memory banks.
+    pub fn memory_columns<I: IntoIterator<Item = u16>>(mut self, columns: I) -> Self {
+        self.memory_columns = columns.into_iter().collect();
+        self
+    }
+
+    /// Enables torus wrap-around links (east–west and north–south edges
+    /// connect). Disabled by default; the paper evaluates plain meshes.
+    pub fn torus(mut self, torus: bool) -> Self {
+        self.torus = torus;
+        self
+    }
+
+    /// Adds diagonal single-hop links (NE/NW/SE/SW), as in HyCube-style
+    /// richer interconnects. Disabled by default.
+    pub fn diagonals(mut self, diagonals: bool) -> Self {
+        self.diagonals = diagonals;
+        self
+    }
+
+    /// Builds the architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCgraError`] if the grid is empty, a memory column is out
+    /// of range, or memory banks/columns are inconsistently specified.
+    pub fn build(self) -> Result<Cgra, BuildCgraError> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err(BuildCgraError::EmptyGrid);
+        }
+        for &c in &self.memory_columns {
+            if c >= self.cols {
+                return Err(BuildCgraError::MemoryColumnOutOfRange {
+                    column: c,
+                    cols: self.cols,
+                });
+            }
+        }
+        if (self.memory_banks == 0) != self.memory_columns.is_empty() {
+            return Err(BuildCgraError::InconsistentMemory);
+        }
+
+        let mut pes = Vec::with_capacity(self.rows as usize * self.cols as usize);
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let id = PeId::new(row as u32 * self.cols as u32 + col as u32);
+                let memory = self.memory_columns.contains(&col);
+                pes.push(Pe::new(id, Coord::new(row, col), memory, self.regs_per_pe));
+            }
+        }
+
+        let mut links = Vec::new();
+        let pe_id = |row: u16, col: u16| PeId::new(row as u32 * self.cols as u32 + col as u32);
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let src = pe_id(row, col);
+                let mut push = |dst: PeId, dir: Direction| {
+                    let id = LinkId::new(links.len() as u32);
+                    links.push(Link::new(id, src, dst, dir));
+                };
+                // North
+                if row > 0 {
+                    push(pe_id(row - 1, col), Direction::North);
+                } else if self.torus && self.rows > 1 {
+                    push(pe_id(self.rows - 1, col), Direction::North);
+                }
+                // East
+                if col + 1 < self.cols {
+                    push(pe_id(row, col + 1), Direction::East);
+                } else if self.torus && self.cols > 1 {
+                    push(pe_id(row, 0), Direction::East);
+                }
+                // South
+                if row + 1 < self.rows {
+                    push(pe_id(row + 1, col), Direction::South);
+                } else if self.torus && self.rows > 1 {
+                    push(pe_id(0, col), Direction::South);
+                }
+                // West
+                if col > 0 {
+                    push(pe_id(row, col - 1), Direction::West);
+                } else if self.torus && self.cols > 1 {
+                    push(pe_id(row, self.cols - 1), Direction::West);
+                }
+                // Diagonals (mesh-internal only; no torus wrap).
+                if self.diagonals {
+                    if row > 0 && col > 0 {
+                        push(pe_id(row - 1, col - 1), Direction::NorthWest);
+                    }
+                    if row > 0 && col + 1 < self.cols {
+                        push(pe_id(row - 1, col + 1), Direction::NorthEast);
+                    }
+                    if row + 1 < self.rows && col > 0 {
+                        push(pe_id(row + 1, col - 1), Direction::SouthWest);
+                    }
+                    if row + 1 < self.rows && col + 1 < self.cols {
+                        push(pe_id(row + 1, col + 1), Direction::SouthEast);
+                    }
+                }
+            }
+        }
+
+        Ok(Cgra::from_parts(
+            self.rows,
+            self.cols,
+            self.regs_per_pe,
+            self.memory_banks,
+            pes,
+            links,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_link_count() {
+        // rows*(cols-1) horizontal pairs * 2 directions + cols*(rows-1)*2.
+        let cgra = CgraBuilder::new(4, 4).build().unwrap();
+        assert_eq!(cgra.num_links(), 4 * 3 * 2 + 4 * 3 * 2);
+    }
+
+    #[test]
+    fn diagonal_link_count() {
+        // 4×4 mesh: 48 orthogonal + 2·(rows−1)·(cols−1)·2 diagonal links.
+        let cgra = CgraBuilder::new(4, 4).diagonals(true).build().unwrap();
+        assert_eq!(cgra.num_links(), 48 + 4 * 9);
+        // Corner PE gains exactly one diagonal.
+        let corner = cgra.pe_at(crate::Coord::new(0, 0).into()).unwrap().id();
+        assert_eq!(cgra.links_from(corner).count(), 3);
+    }
+
+    #[test]
+    fn torus_link_count() {
+        let cgra = CgraBuilder::new(4, 4).torus(true).build().unwrap();
+        // Every PE has exactly 4 outgoing links on a 4×4 torus.
+        assert_eq!(cgra.num_links(), 16 * 4);
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        assert_eq!(
+            CgraBuilder::new(0, 4).build().unwrap_err(),
+            BuildCgraError::EmptyGrid
+        );
+        assert_eq!(
+            CgraBuilder::new(4, 0).build().unwrap_err(),
+            BuildCgraError::EmptyGrid
+        );
+    }
+
+    #[test]
+    fn out_of_range_memory_column_rejected() {
+        let err = CgraBuilder::new(2, 2)
+            .memory_banks(1)
+            .memory_columns([5])
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildCgraError::MemoryColumnOutOfRange { column: 5, cols: 2 }
+        );
+    }
+
+    #[test]
+    fn inconsistent_memory_rejected() {
+        assert_eq!(
+            CgraBuilder::new(2, 2).memory_banks(2).build().unwrap_err(),
+            BuildCgraError::InconsistentMemory
+        );
+        assert_eq!(
+            CgraBuilder::new(2, 2)
+                .memory_columns([0])
+                .build()
+                .unwrap_err(),
+            BuildCgraError::InconsistentMemory
+        );
+    }
+
+    #[test]
+    fn single_pe_has_no_links() {
+        let cgra = CgraBuilder::new(1, 1).build().unwrap();
+        assert_eq!(cgra.num_pes(), 1);
+        assert_eq!(cgra.num_links(), 0);
+    }
+
+    #[test]
+    fn links_connect_neighbours_only() {
+        let cgra = CgraBuilder::new(3, 3).build().unwrap();
+        for link in cgra.links() {
+            let a = cgra.pe(link.src()).coord();
+            let b = cgra.pe(link.dst()).coord();
+            assert_eq!(a.manhattan(b), 1, "{link}");
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The CGRA fabric: PEs, links and lookup tables.
+
+use crate::{Coord, Link, LinkId, OpKind, Pe, PeId};
+use std::fmt;
+
+/// An immutable CGRA architecture instance.
+///
+/// Construct one with [`CgraBuilder`](crate::CgraBuilder) or a
+/// [`presets`](crate::presets) function. All queries are O(1) or iterator
+/// adapters over precomputed tables, because the mappers call them in hot
+/// loops.
+///
+/// # Examples
+///
+/// ```
+/// use rewire_arch::{presets, OpKind};
+/// let cgra = presets::paper_4x4_r4();
+/// let mem_pes: Vec<_> = cgra.pes_supporting(OpKind::Load).collect();
+/// assert_eq!(mem_pes.len(), 4);
+/// for pe in cgra.pes() {
+///     assert!(cgra.links_from(pe.id()).count() <= 4);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Cgra {
+    rows: u16,
+    cols: u16,
+    regs_per_pe: u8,
+    memory_banks: u16,
+    pes: Vec<Pe>,
+    links: Vec<Link>,
+    /// Outgoing link ids per PE (index = PeId::index()).
+    out_links: Vec<Vec<LinkId>>,
+    /// Incoming link ids per PE.
+    in_links: Vec<Vec<LinkId>>,
+    /// Whether any diagonal links exist (changes the hop-distance metric).
+    has_diagonals: bool,
+}
+
+impl Cgra {
+    pub(crate) fn from_parts(
+        rows: u16,
+        cols: u16,
+        regs_per_pe: u8,
+        memory_banks: u16,
+        pes: Vec<Pe>,
+        links: Vec<Link>,
+    ) -> Self {
+        let mut out_links = vec![Vec::new(); pes.len()];
+        let mut in_links = vec![Vec::new(); pes.len()];
+        for link in &links {
+            out_links[link.src().index()].push(link.id());
+            in_links[link.dst().index()].push(link.id());
+        }
+        let has_diagonals = links.iter().any(|l| {
+            matches!(
+                l.direction(),
+                crate::Direction::NorthEast
+                    | crate::Direction::NorthWest
+                    | crate::Direction::SouthEast
+                    | crate::Direction::SouthWest
+            )
+        });
+        Self {
+            rows,
+            cols,
+            regs_per_pe,
+            memory_banks,
+            pes,
+            links,
+            out_links,
+            in_links,
+            has_diagonals,
+        }
+    }
+
+    /// Number of rows in the mesh.
+    pub fn rows(&self) -> u16 {
+        self.rows
+    }
+
+    /// Number of columns in the mesh.
+    pub fn cols(&self) -> u16 {
+        self.cols
+    }
+
+    /// Register cells per PE.
+    pub fn regs_per_pe(&self) -> u8 {
+        self.regs_per_pe
+    }
+
+    /// Number of on-chip memory banks.
+    pub fn memory_banks(&self) -> u16 {
+        self.memory_banks
+    }
+
+    /// Total number of PEs.
+    pub fn num_pes(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// Total number of directed links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Looks up a PE by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this architecture.
+    pub fn pe(&self, id: PeId) -> &Pe {
+        &self.pes[id.index()]
+    }
+
+    /// Looks up a link by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this architecture.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Looks up the PE at a grid coordinate, if it exists.
+    pub fn pe_at(&self, coord: Coord) -> Option<&Pe> {
+        if coord.row < self.rows && coord.col < self.cols {
+            let idx = coord.row as usize * self.cols as usize + coord.col as usize;
+            Some(&self.pes[idx])
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over all PEs in id order.
+    pub fn pes(&self) -> impl ExactSizeIterator<Item = &Pe> + '_ {
+        self.pes.iter()
+    }
+
+    /// Iterates over all links in id order.
+    pub fn links(&self) -> impl ExactSizeIterator<Item = &Link> + '_ {
+        self.links.iter()
+    }
+
+    /// Iterates over the outgoing links of `pe`.
+    pub fn links_from(&self, pe: PeId) -> impl ExactSizeIterator<Item = &Link> + '_ {
+        self.out_links[pe.index()].iter().map(|&l| self.link(l))
+    }
+
+    /// Iterates over the incoming links of `pe`.
+    pub fn links_to(&self, pe: PeId) -> impl ExactSizeIterator<Item = &Link> + '_ {
+        self.in_links[pe.index()].iter().map(|&l| self.link(l))
+    }
+
+    /// Iterates over the memory-capable PEs.
+    pub fn memory_pes(&self) -> impl Iterator<Item = &Pe> + '_ {
+        self.pes.iter().filter(|p| p.memory_capable())
+    }
+
+    /// Iterates over the PEs that can execute `op`.
+    pub fn pes_supporting(&self, op: OpKind) -> impl Iterator<Item = &Pe> + '_ {
+        self.pes.iter().filter(move |p| p.supports(op))
+    }
+
+    /// Number of PEs that can execute `op` — the denominator in resource-MII.
+    pub fn capacity_for(&self, op: OpKind) -> usize {
+        self.pes_supporting(op).count()
+    }
+
+    /// Hop-distance lower bound between two PEs: Manhattan on orthogonal
+    /// meshes, Chebyshev when diagonal links exist.
+    pub fn distance(&self, a: PeId, b: PeId) -> u32 {
+        let (ca, cb) = (self.pe(a).coord(), self.pe(b).coord());
+        if self.has_diagonals {
+            ca.chebyshev(cb)
+        } else {
+            ca.manhattan(cb)
+        }
+    }
+
+    /// Whether the fabric has diagonal links.
+    pub fn has_diagonals(&self) -> bool {
+        self.has_diagonals
+    }
+
+    /// A short human-readable architecture label, e.g. `4x4/r4`.
+    pub fn label(&self) -> String {
+        format!("{}x{}/r{}", self.rows, self.cols, self.regs_per_pe)
+    }
+}
+
+impl fmt::Display for Cgra {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CGRA {}x{} ({} regs/PE, {} banks, {} mem PEs)",
+            self.rows,
+            self.cols,
+            self.regs_per_pe,
+            self.memory_banks,
+            self.memory_pes().count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CgraBuilder;
+
+    fn cgra() -> Cgra {
+        CgraBuilder::new(3, 4)
+            .memory_banks(2)
+            .memory_columns([0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pe_at_round_trips_coords() {
+        let c = cgra();
+        for pe in c.pes() {
+            assert_eq!(c.pe_at(pe.coord()).unwrap().id(), pe.id());
+        }
+        assert!(c.pe_at(Coord::new(3, 0)).is_none());
+        assert!(c.pe_at(Coord::new(0, 4)).is_none());
+    }
+
+    #[test]
+    fn in_and_out_links_are_symmetric_on_mesh() {
+        let c = cgra();
+        for pe in c.pes() {
+            assert_eq!(
+                c.links_from(pe.id()).count(),
+                c.links_to(pe.id()).count(),
+                "mesh links are bidirectional pairs"
+            );
+        }
+    }
+
+    #[test]
+    fn corner_pes_have_two_neighbours() {
+        let c = cgra();
+        let corner = c.pe_at(Coord::new(0, 0)).unwrap().id();
+        assert_eq!(c.links_from(corner).count(), 2);
+    }
+
+    #[test]
+    fn capacity_counts_memory_ops() {
+        let c = cgra();
+        assert_eq!(c.capacity_for(OpKind::Load), 3); // one column of 3 rows
+        assert_eq!(c.capacity_for(OpKind::Add), 12);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let c = cgra();
+        let a = c.pe_at(Coord::new(0, 0)).unwrap().id();
+        let b = c.pe_at(Coord::new(2, 3)).unwrap().id();
+        assert_eq!(c.distance(a, b), 5);
+        assert_eq!(c.distance(b, a), 5);
+    }
+
+    #[test]
+    fn diagonal_distance_metric() {
+        let d = crate::CgraBuilder::new(4, 4)
+            .diagonals(true)
+            .build()
+            .unwrap();
+        let a = d.pe_at(Coord::new(0, 0)).unwrap().id();
+        let b = d.pe_at(Coord::new(2, 3)).unwrap().id();
+        assert!(d.has_diagonals());
+        assert_eq!(d.distance(a, b), 3, "Chebyshev on diagonal fabrics");
+    }
+
+    #[test]
+    fn label_and_display() {
+        let c = cgra();
+        assert_eq!(c.label(), "3x4/r4");
+        let s = format!("{c}");
+        assert!(s.contains("3x4"));
+        assert!(s.contains("2 banks"));
+    }
+}

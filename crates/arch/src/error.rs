@@ -1,0 +1,58 @@
+//! Errors raised while constructing architectures.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`CgraBuilder::build`](crate::CgraBuilder::build) for an
+/// inconsistent configuration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum BuildCgraError {
+    /// The grid has zero rows or zero columns.
+    EmptyGrid,
+    /// A memory column index is outside `0..cols`.
+    MemoryColumnOutOfRange {
+        /// The offending column index.
+        column: u16,
+        /// Number of columns in the grid.
+        cols: u16,
+    },
+    /// Memory operations can never be placed: banks exist but no column may
+    /// access them, or columns are declared but there are zero banks.
+    InconsistentMemory,
+}
+
+impl fmt::Display for BuildCgraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildCgraError::EmptyGrid => f.write_str("grid must have at least one row and column"),
+            BuildCgraError::MemoryColumnOutOfRange { column, cols } => write!(
+                f,
+                "memory column {column} is out of range for a grid with {cols} columns"
+            ),
+            BuildCgraError::InconsistentMemory => {
+                f.write_str("memory banks and memory columns must both be present or both absent")
+            }
+        }
+    }
+}
+
+impl Error for BuildCgraError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_unpunctuated() {
+        let msgs = [
+            BuildCgraError::EmptyGrid.to_string(),
+            BuildCgraError::MemoryColumnOutOfRange { column: 9, cols: 4 }.to_string(),
+            BuildCgraError::InconsistentMemory.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "{m}");
+            assert!(m.chars().next().unwrap().is_lowercase(), "{m}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Parametric CGRA architecture model.
+//!
+//! A [`Cgra`] is a 2-D mesh of processing elements (PEs). Each PE contains a
+//! single-issue ALU, a small register file used for buffering routed values,
+//! and directed network-on-chip links to its Von Neumann neighbours. A subset
+//! of PEs (by column) can additionally issue memory operations against the
+//! on-chip memory banks — mirroring the architectures evaluated in the Rewire
+//! paper (DAC 2025): a 4×4 CGRA whose left-most column accesses two banks, and
+//! an 8×8 CGRA whose left-most and right-most columns access eight banks.
+//!
+//! The model is deliberately mapper-facing: it exposes exactly the information
+//! a modulo-scheduling mapper needs (which PE can execute which operation,
+//! which links exist, how many register cells each PE offers per cycle) and
+//! nothing micro-architectural beyond that.
+//!
+//! # Examples
+//!
+//! ```
+//! use rewire_arch::{CgraBuilder, presets};
+//!
+//! // The paper's baseline: 4×4, four registers per PE, two memory banks.
+//! let cgra = presets::paper_4x4_r4();
+//! assert_eq!(cgra.num_pes(), 16);
+//! assert_eq!(cgra.regs_per_pe(), 4);
+//! assert_eq!(cgra.memory_pes().count(), 4);
+//!
+//! // Or build a custom fabric.
+//! let custom = CgraBuilder::new(2, 3)
+//!     .regs_per_pe(2)
+//!     .memory_banks(1)
+//!     .memory_columns([0])
+//!     .build()
+//!     .expect("valid configuration");
+//! assert_eq!(custom.num_pes(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod cgra;
+mod error;
+mod ids;
+mod link;
+mod ops;
+mod pe;
+pub mod presets;
+
+pub use builder::CgraBuilder;
+pub use cgra::Cgra;
+pub use error::BuildCgraError;
+pub use ids::{Coord, LinkId, PeId};
+pub use link::{Direction, Link};
+pub use ops::{OpClass, OpKind};
+pub use pe::Pe;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_sizes_match_paper() {
+        assert_eq!(presets::paper_4x4_r4().num_pes(), 16);
+        assert_eq!(presets::paper_4x4_r2().regs_per_pe(), 2);
+        assert_eq!(presets::paper_4x4_r1().regs_per_pe(), 1);
+        assert_eq!(presets::paper_8x8_r4().num_pes(), 64);
+    }
+
+    #[test]
+    fn memory_columns_match_paper() {
+        // 4×4: left-most column only => 4 memory PEs.
+        assert_eq!(presets::paper_4x4_r4().memory_pes().count(), 4);
+        // 8×8: left-most and right-most columns => 16 memory PEs.
+        assert_eq!(presets::paper_8x8_r4().memory_pes().count(), 16);
+    }
+}

@@ -1,0 +1,81 @@
+//! The CGRA configurations evaluated in the Rewire paper (§V).
+//!
+//! All 4×4 variants have two local memory banks accessible from the left-most
+//! PE column; the 8×8 variant has eight banks accessible from the left-most
+//! and right-most columns (16 memory PEs).
+
+use crate::{Cgra, CgraBuilder};
+
+/// 4×4 CGRA, four registers per PE (the paper's baseline, Fig 5a).
+pub fn paper_4x4_r4() -> Cgra {
+    four_by_four(4)
+}
+
+/// 4×4 CGRA, two registers per PE (Fig 5c).
+pub fn paper_4x4_r2() -> Cgra {
+    four_by_four(2)
+}
+
+/// 4×4 CGRA, one register per PE — the paper's deliberately impractical
+/// extreme-case configuration (Fig 5d).
+pub fn paper_4x4_r1() -> Cgra {
+    four_by_four(1)
+}
+
+/// 8×8 CGRA, four registers per PE (Fig 5b).
+pub fn paper_8x8_r4() -> Cgra {
+    CgraBuilder::new(8, 8)
+        .regs_per_pe(4)
+        .memory_banks(8)
+        .memory_columns([0, 7])
+        .build()
+        .expect("preset configuration is valid")
+}
+
+/// All four paper configurations with their Fig 5 labels, in figure order.
+pub fn all_paper_configs() -> Vec<(&'static str, Cgra)> {
+    vec![
+        ("4x4 4reg", paper_4x4_r4()),
+        ("8x8 4reg", paper_8x8_r4()),
+        ("4x4 2reg", paper_4x4_r2()),
+        ("4x4 1reg", paper_4x4_r1()),
+    ]
+}
+
+fn four_by_four(regs: u8) -> Cgra {
+    CgraBuilder::new(4, 4)
+        .regs_per_pe(regs)
+        .memory_banks(2)
+        .memory_columns([0])
+        .build()
+        .expect("preset configuration is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paper_configs_build() {
+        let configs = all_paper_configs();
+        assert_eq!(configs.len(), 4);
+        for (label, cgra) in configs {
+            assert!(cgra.num_pes() >= 16, "{label}");
+            assert!(cgra.memory_pes().count() > 0, "{label}");
+        }
+    }
+
+    #[test]
+    fn register_counts() {
+        assert_eq!(paper_4x4_r4().regs_per_pe(), 4);
+        assert_eq!(paper_4x4_r2().regs_per_pe(), 2);
+        assert_eq!(paper_4x4_r1().regs_per_pe(), 1);
+        assert_eq!(paper_8x8_r4().regs_per_pe(), 4);
+    }
+
+    #[test]
+    fn bank_counts_match_paper() {
+        assert_eq!(paper_4x4_r4().memory_banks(), 2);
+        assert_eq!(paper_8x8_r4().memory_banks(), 8);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of fabric topology construction.
+
+use proptest::prelude::*;
+use rewire_arch::{CgraBuilder, Coord, Direction};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Mesh link counts match the closed form and all links are unit hops.
+    #[test]
+    fn mesh_structure(rows in 1u16..9, cols in 1u16..9) {
+        let cgra = CgraBuilder::new(rows, cols).build().unwrap();
+        prop_assert_eq!(cgra.num_pes(), rows as usize * cols as usize);
+        let expected = 2 * (rows as usize * (cols as usize - 1)
+            + cols as usize * (rows as usize - 1));
+        prop_assert_eq!(cgra.num_links(), expected);
+        for link in cgra.links() {
+            let a = cgra.pe(link.src()).coord();
+            let b = cgra.pe(link.dst()).coord();
+            prop_assert_eq!(a.manhattan(b), 1);
+        }
+    }
+
+    /// On a torus every PE has exactly four outgoing and four incoming
+    /// links (when both dimensions exceed 1).
+    #[test]
+    fn torus_regularity(rows in 2u16..9, cols in 2u16..9) {
+        let cgra = CgraBuilder::new(rows, cols).torus(true).build().unwrap();
+        for pe in cgra.pes() {
+            prop_assert_eq!(cgra.links_from(pe.id()).count(), 4);
+            prop_assert_eq!(cgra.links_to(pe.id()).count(), 4);
+        }
+    }
+
+    /// Every directed mesh link has its reverse twin.
+    #[test]
+    fn mesh_links_come_in_pairs(rows in 1u16..8, cols in 1u16..8) {
+        let cgra = CgraBuilder::new(rows, cols).build().unwrap();
+        for link in cgra.links() {
+            let reverse = cgra
+                .links_from(link.dst())
+                .any(|l| l.dst() == link.src());
+            prop_assert!(reverse, "{link} has no twin");
+        }
+    }
+
+    /// Directions are consistent with coordinates.
+    #[test]
+    fn directions_match_geometry(rows in 2u16..8, cols in 2u16..8) {
+        let cgra = CgraBuilder::new(rows, cols).build().unwrap();
+        for link in cgra.links() {
+            let a = cgra.pe(link.src()).coord();
+            let b = cgra.pe(link.dst()).coord();
+            let expect = if b.row + 1 == a.row {
+                Direction::North
+            } else if b.row == a.row + 1 {
+                Direction::South
+            } else if b.col == a.col + 1 {
+                Direction::East
+            } else {
+                Direction::West
+            };
+            prop_assert_eq!(link.direction(), expect);
+        }
+    }
+
+    /// Memory columns mark exactly rows × |columns| PEs.
+    #[test]
+    fn memory_column_counts(rows in 1u16..8, cols in 2u16..8, pick in 0u16..8) {
+        let col = pick % cols;
+        let cgra = CgraBuilder::new(rows, cols)
+            .memory_banks(2)
+            .memory_columns([col])
+            .build()
+            .unwrap();
+        prop_assert_eq!(cgra.memory_pes().count(), rows as usize);
+        for pe in cgra.memory_pes() {
+            prop_assert_eq!(pe.coord().col, col);
+        }
+    }
+
+    /// `pe_at` is the inverse of `coord()` and rejects out-of-range lookups.
+    #[test]
+    fn coordinate_round_trip(rows in 1u16..8, cols in 1u16..8) {
+        let cgra = CgraBuilder::new(rows, cols).build().unwrap();
+        for pe in cgra.pes() {
+            prop_assert_eq!(cgra.pe_at(pe.coord()).unwrap().id(), pe.id());
+        }
+        prop_assert!(cgra.pe_at(Coord::new(rows, 0)).is_none());
+        prop_assert!(cgra.pe_at(Coord::new(0, cols)).is_none());
+    }
+}

@@ -1,0 +1,33 @@
+//! Ablation (DESIGN.md §7): the cluster size cap α. α = 1 degenerates to
+//! single-node amendment (the conventional paradigm); the paper operates
+//! at α = 15.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rewire_arch::presets;
+use rewire_core::{RewireConfig, RewireMapper};
+use rewire_dfg::kernels;
+use rewire_mappers::{MapLimits, Mapper};
+use std::time::Duration;
+
+fn bench_alpha(c: &mut Criterion) {
+    let cgra = presets::paper_4x4_r4();
+    let dfg = kernels::mvt();
+    let limits = MapLimits::fast().with_ii_time_budget(Duration::from_millis(400));
+
+    let mut group = c.benchmark_group("ablation_cluster_alpha_mvt");
+    group.sample_size(10);
+    for alpha in [1usize, 5, 10, 15, 25] {
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
+            let config = RewireConfig {
+                alpha,
+                initial_cluster_size: alpha.min(3),
+                ..Default::default()
+            };
+            b.iter(|| RewireMapper::with_config(config.clone()).map(&dfg, &cgra, &limits))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alpha);
+criterion_main!(benches);

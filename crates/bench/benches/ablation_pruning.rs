@@ -1,0 +1,42 @@
+//! Ablation (DESIGN.md §7): the execution-cycle constraint pruning of
+//! Algorithm 2. With a tiny verification budget the pruned search must
+//! still find placements where an unpruned-but-capped search flounders;
+//! here we compare full-strength Rewire against a variant with a minimal
+//! candidate cap (approximating "no pruning value").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rewire_arch::presets;
+use rewire_core::{RewireConfig, RewireMapper};
+use rewire_dfg::kernels;
+use rewire_mappers::{MapLimits, Mapper};
+use std::time::Duration;
+
+fn bench_ablation(c: &mut Criterion) {
+    let cgra = presets::paper_4x4_r4();
+    let dfg = kernels::bicg();
+    let limits = MapLimits::fast().with_ii_time_budget(Duration::from_millis(400));
+
+    let mut group = c.benchmark_group("ablation_pruning_bicg");
+    group.sample_size(10);
+    group.bench_function("default", |b| {
+        b.iter(|| RewireMapper::new().map(&dfg, &cgra, &limits))
+    });
+    group.bench_function("tiny_verification_budget", |b| {
+        let config = RewireConfig {
+            max_verifications: 8,
+            ..Default::default()
+        };
+        b.iter(|| RewireMapper::with_config(config.clone()).map(&dfg, &cgra, &limits))
+    });
+    group.bench_function("unbounded_search_steps", |b| {
+        let config = RewireConfig {
+            max_search_steps: u64::MAX,
+            ..Default::default()
+        };
+        b.iter(|| RewireMapper::with_config(config.clone()).map(&dfg, &cgra, &limits))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

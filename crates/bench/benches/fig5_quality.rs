@@ -1,0 +1,31 @@
+//! Criterion wrapper for Fig 5: one representative quality point per
+//! mapper (full sweeps live in the `fig5` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rewire_arch::presets;
+use rewire_core::RewireMapper;
+use rewire_dfg::kernels;
+use rewire_mappers::{MapLimits, Mapper, PathFinderMapper, SaMapper};
+use std::time::Duration;
+
+fn bench_fig5(c: &mut Criterion) {
+    let cgra = presets::paper_4x4_r4();
+    let dfg = kernels::fir();
+    let limits = MapLimits::fast().with_ii_time_budget(Duration::from_millis(400));
+
+    let mut group = c.benchmark_group("fig5_quality_fir_4x4r4");
+    group.sample_size(10);
+    group.bench_function("rewire", |b| {
+        b.iter(|| RewireMapper::new().map(&dfg, &cgra, &limits))
+    });
+    group.bench_function("pathfinder", |b| {
+        b.iter(|| PathFinderMapper::new().map(&dfg, &cgra, &limits))
+    });
+    group.bench_function("annealing", |b| {
+        b.iter(|| SaMapper::new().map(&dfg, &cgra, &limits))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion wrapper for Fig 6: end-to-end compilation time of each mapper
+//! on a 4×4/2-reg point (full sweeps live in the `fig6` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rewire_arch::presets;
+use rewire_core::RewireMapper;
+use rewire_dfg::kernels;
+use rewire_mappers::{MapLimits, Mapper, PathFinderMapper, SaMapper};
+use std::time::Duration;
+
+fn bench_fig6(c: &mut Criterion) {
+    let cgra = presets::paper_4x4_r2();
+    let dfg = kernels::atax();
+    let limits = MapLimits::fast().with_ii_time_budget(Duration::from_millis(400));
+
+    let mut group = c.benchmark_group("fig6_time_atax_4x4r2");
+    group.sample_size(10);
+    group.bench_function("rewire", |b| {
+        b.iter(|| RewireMapper::new().map(&dfg, &cgra, &limits))
+    });
+    group.bench_function("pathfinder", |b| {
+        b.iter(|| PathFinderMapper::new().map(&dfg, &cgra, &limits))
+    });
+    group.bench_function("annealing", |b| {
+        b.iter(|| SaMapper::new().map(&dfg, &cgra, &limits))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! §V-B claim: "the propagation time usually takes less than one second".
+//! Measures one full propagation (all waves) on the 8×8 fabric.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rewire_arch::presets;
+use rewire_core::{propagate, Direction, PropagationSeed};
+use rewire_dfg::NodeId;
+use rewire_mrrg::{Mrrg, Occupancy};
+
+fn bench_propagation(c: &mut Criterion) {
+    let cgra = presets::paper_8x8_r4();
+    let mrrg = Mrrg::new(&cgra, 4);
+    let occ = Occupancy::new(&mrrg);
+    // Eight forward and eight backward waves from scattered PEs — the
+    // scale of a 15-node cluster's source set.
+    let seeds: Vec<PropagationSeed> = (0..16u32)
+        .map(|i| PropagationSeed {
+            source: NodeId::new(i),
+            direction: if i % 2 == 0 {
+                Direction::Forward
+            } else {
+                Direction::Backward
+            },
+            pe: cgra
+                .pes()
+                .nth((i as usize * 7) % cgra.num_pes())
+                .unwrap()
+                .id(),
+            cycle: 20 + i,
+            wave: 20 + i,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("propagation");
+    group.sample_size(20);
+    group.bench_function("8x8_ii4_16waves_24rounds", |b| {
+        b.iter(|| propagate(&cgra, &occ, &seeds, 24))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Micro-benchmark of the layered exact-arrival router: the inner loop of
+//! every mapper in the workspace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rewire_arch::{presets, Coord};
+use rewire_dfg::NodeId;
+use rewire_mrrg::{Mrrg, Occupancy, RouteRequest, Router, UnitCost};
+
+fn bench_router(c: &mut Criterion) {
+    let cgra = presets::paper_8x8_r4();
+    let mrrg = Mrrg::new(&cgra, 4);
+    let occ = Occupancy::new(&mrrg);
+    let router = Router::new(&cgra, &mrrg);
+    let src = cgra.pe_at(Coord::new(0, 0)).unwrap().id();
+    let dst = cgra.pe_at(Coord::new(7, 7)).unwrap().id();
+
+    let mut group = c.benchmark_group("router");
+    group.sample_size(50);
+    group.bench_function("corner_to_corner_exact_16", |b| {
+        let req = RouteRequest {
+            signal: NodeId::new(0),
+            src_pe: src,
+            depart_cycle: 1,
+            dst_pe: dst,
+            arrive_cycle: 17,
+        };
+        b.iter(|| router.route(&occ, &req, &UnitCost).unwrap())
+    });
+    group.bench_function("neighbour_with_slack_6", |b| {
+        let dst = cgra.pe_at(Coord::new(0, 1)).unwrap().id();
+        let req = RouteRequest {
+            signal: NodeId::new(0),
+            src_pe: src,
+            depart_cycle: 1,
+            dst_pe: dst,
+            arrive_cycle: 7,
+        };
+        b.iter(|| router.route(&occ, &req, &UnitCost).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_router);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion wrapper for Table I: cost of the baselines' single-node
+//! remapping iterations (the counts themselves come from the `table1`
+//! binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rewire_arch::presets;
+use rewire_dfg::kernels;
+use rewire_mappers::{MapLimits, Mapper, PathFinderMapper, SaMapper};
+use std::time::Duration;
+
+fn bench_table1(c: &mut Criterion) {
+    let cgra = presets::paper_4x4_r4();
+    let dfg = kernels::atax();
+    let limits = MapLimits::fast().with_ii_time_budget(Duration::from_millis(300));
+
+    let mut group = c.benchmark_group("table1_atax_4x4r4");
+    group.sample_size(10);
+    group.bench_function("pf_per_attempt", |b| {
+        b.iter(|| PathFinderMapper::new().map(&dfg, &cgra, &limits))
+    });
+    group.bench_function("sa_per_attempt", |b| {
+        b.iter(|| SaMapper::new().map(&dfg, &cgra, &limits))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

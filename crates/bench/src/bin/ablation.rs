@@ -1,0 +1,96 @@
+//! Ablations of Rewire's design choices (DESIGN.md §7), printed as tables:
+//!
+//! * cluster size cap α ∈ {1, 5, 10, 15, 25},
+//! * Algorithm 2 search budgets (tiny verification budget vs default),
+//! * amendment restarts on vs off.
+//!
+//! Usage: `cargo run -p rewire-bench --release --bin ablation [seconds_per_ii]`
+
+use rewire_arch::presets;
+use rewire_core::{RewireConfig, RewireMapper};
+use rewire_dfg::kernels;
+use rewire_mappers::{MapLimits, Mapper};
+use std::time::Duration;
+
+fn main() {
+    let secs: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.5);
+    let cgra = presets::paper_4x4_r4();
+    let limits =
+        MapLimits::benchmark().with_ii_time_budget(Duration::from_millis((secs * 1000.0) as u64));
+    let suite = ["gesummv", "atax", "bicg", "mvt", "fir", "viterbi"];
+
+    println!("== ablation: cluster size cap α ==");
+    print!("{:<10}", "kernel");
+    let alphas = [1usize, 5, 10, 15, 25];
+    for a in alphas {
+        print!(" {:>6}", format!("α={a}"));
+    }
+    println!();
+    for name in suite {
+        let dfg = kernels::by_name(name).unwrap();
+        print!("{name:<10}");
+        for alpha in alphas {
+            let config = RewireConfig {
+                alpha,
+                initial_cluster_size: alpha.min(3),
+                ..Default::default()
+            };
+            let out = RewireMapper::with_config(config).map(&dfg, &cgra, &limits);
+            print!(
+                " {:>6}",
+                out.stats
+                    .achieved_ii
+                    .map_or("-".into(), |ii| ii.to_string())
+            );
+        }
+        println!();
+    }
+
+    println!("\n== ablation: Algorithm 2 budgets ==");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8}",
+        "kernel", "default", "verif=8", "steps=1k"
+    );
+    for name in suite {
+        let dfg = kernels::by_name(name).unwrap();
+        let default = RewireMapper::new().map(&dfg, &cgra, &limits);
+        let tiny_verif = RewireMapper::with_config(RewireConfig {
+            max_verifications: 8,
+            ..Default::default()
+        })
+        .map(&dfg, &cgra, &limits);
+        let tiny_steps = RewireMapper::with_config(RewireConfig {
+            max_search_steps: 1000,
+            ..Default::default()
+        })
+        .map(&dfg, &cgra, &limits);
+        let f = |o: &rewire_mappers::MapOutcome| {
+            o.stats.achieved_ii.map_or("-".into(), |ii| ii.to_string())
+        };
+        println!(
+            "{name:<10} {:>8} {:>8} {:>8}",
+            f(&default),
+            f(&tiny_verif),
+            f(&tiny_steps)
+        );
+    }
+
+    println!("\n== ablation: restarts per II ==");
+    println!("{:<10} {:>9} {:>9}", "kernel", "restarts", "single");
+    for name in suite {
+        let dfg = kernels::by_name(name).unwrap();
+        let with = RewireMapper::new().map(&dfg, &cgra, &limits);
+        let single = RewireMapper::with_config(RewireConfig {
+            max_restarts_per_ii: 1,
+            ..Default::default()
+        })
+        .map(&dfg, &cgra, &limits);
+        let f = |o: &rewire_mappers::MapOutcome| {
+            o.stats.achieved_ii.map_or("-".into(), |ii| ii.to_string())
+        };
+        println!("{name:<10} {:>9} {:>9}", f(&with), f(&single));
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates Fig 5: mapping quality (II) of Rewire vs PF* vs SA on the
+//! paper's four CGRA configurations.
+//!
+//! Usage: `cargo run -p rewire-bench --release --bin fig5 [seconds_per_ii]`
+
+use rewire_bench::{fig5_workloads, print_fig5, run_workloads, MapperKind};
+
+fn main() {
+    let secs: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
+    eprintln!("fig5: per-II budget {secs}s per mapper");
+    let rows = run_workloads(
+        &fig5_workloads(),
+        &[
+            MapperKind::Rewire,
+            MapperKind::PathFinder,
+            MapperKind::Annealing,
+        ],
+        secs,
+        |row| {
+            eprintln!(
+                "  {} / {}: mii={} {:?}",
+                row.config,
+                row.kernel,
+                row.mii,
+                row.results
+                    .iter()
+                    .map(|r| (r.mapper, r.achieved_ii))
+                    .collect::<Vec<_>>()
+            );
+        },
+    );
+    print_fig5(&rows);
+}

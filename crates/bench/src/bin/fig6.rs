@@ -1,0 +1,37 @@
+//! Regenerates Fig 6: compilation time on the 4×4/2-reg and 8×8/4-reg
+//! fabrics under equal per-II budgets (every mapper may consume its whole
+//! budget at a failing II; see DESIGN.md §2 on the wall-clock
+//! substitution).
+//!
+//! Usage: `cargo run -p rewire-bench --release --bin fig6 [seconds_per_ii]`
+
+use rewire_bench::{fig6_workloads, print_fig6, run_workloads, MapperKind};
+
+fn main() {
+    let secs: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
+    eprintln!("fig6: per-II budget {secs}s per mapper (equal-budget mode)");
+    let rows = run_workloads(
+        &fig6_workloads(),
+        &[
+            MapperKind::Rewire,
+            MapperKind::PathFinderFullBudget,
+            MapperKind::Annealing,
+        ],
+        secs,
+        |row| {
+            eprintln!(
+                "  {} / {}: {:?}",
+                row.config,
+                row.kernel,
+                row.results
+                    .iter()
+                    .map(|r| (r.mapper, r.elapsed))
+                    .collect::<Vec<_>>()
+            );
+        },
+    );
+    print_fig6(&rows);
+}

@@ -1,0 +1,75 @@
+//! Runs the complete reproduction (Fig 5, Fig 6, Table I) in one go and
+//! prints every table plus the Rewire verification-success statistic.
+//!
+//! Usage: `cargo run -p rewire-bench --release --bin repro [seconds_per_ii]`
+
+use rewire_bench::{
+    fig5_workloads, fig6_workloads, print_fig5, print_fig6, print_table1, run_workloads,
+    table1_workloads, MapperKind,
+};
+use rewire_core::RewireMapper;
+use rewire_mappers::MapLimits;
+use std::time::Duration;
+
+fn main() {
+    let secs: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
+
+    eprintln!("== running Fig 5 (quality) ==");
+    let rows = run_workloads(
+        &fig5_workloads(),
+        &[
+            MapperKind::Rewire,
+            MapperKind::PathFinder,
+            MapperKind::Annealing,
+        ],
+        secs,
+        |row| eprintln!("  fig5 {} / {}", row.config, row.kernel),
+    );
+    print_fig5(&rows);
+
+    eprintln!("\n== running Fig 6 (compilation time) ==");
+    let rows = run_workloads(
+        &fig6_workloads(),
+        &[
+            MapperKind::Rewire,
+            MapperKind::PathFinderFullBudget,
+            MapperKind::Annealing,
+        ],
+        secs,
+        |row| eprintln!("  fig6 {} / {}", row.config, row.kernel),
+    );
+    print_fig6(&rows);
+
+    eprintln!("\n== running Table I (iterations) ==");
+    let rows = run_workloads(
+        &table1_workloads(),
+        &[MapperKind::PathFinder, MapperKind::Annealing],
+        secs,
+        |row| eprintln!("  table1 {} / {}", row.config, row.kernel),
+    );
+    print_table1(&rows);
+
+    // §IV-D: verification success rate of generated Placement(U).
+    eprintln!("\n== measuring Placement(U) verification success rate ==");
+    let cgra = rewire_arch::presets::paper_4x4_r4();
+    let limits =
+        MapLimits::benchmark().with_ii_time_budget(Duration::from_millis((secs * 1000.0) as u64));
+    let mut total = rewire_core::RewireStats::default();
+    for (_, dfg) in rewire_dfg::kernels::all() {
+        let (_, rs) = RewireMapper::new().map_with_stats(&dfg, &cgra, &limits);
+        total.merge(&rs);
+    }
+    println!(
+        "\nPlacement(U) verification success rate: {:.1}% ({} / {})",
+        100.0 * total.verification_success_rate(),
+        total.verification_successes,
+        total.verifications
+    );
+    println!(
+        "propagation tuples generated: {} across {} cluster attempts",
+        total.tuples_generated, total.clusters_attempted
+    );
+}

@@ -1,0 +1,32 @@
+//! Regenerates Table I: number of single-node remapping iterations for PF*
+//! and SA on 4×4 CGRAs with one and with four registers per PE, averaged
+//! per explored II.
+//!
+//! Usage: `cargo run -p rewire-bench --release --bin table1 [seconds_per_ii]`
+
+use rewire_bench::{print_table1, run_workloads, table1_workloads, MapperKind};
+
+fn main() {
+    let secs: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
+    eprintln!("table1: per-II budget {secs}s per mapper");
+    let rows = run_workloads(
+        &table1_workloads(),
+        &[MapperKind::PathFinder, MapperKind::Annealing],
+        secs,
+        |row| {
+            eprintln!(
+                "  {} / {}: {:?}",
+                row.config,
+                row.kernel,
+                row.results
+                    .iter()
+                    .map(|r| (r.mapper, r.iterations_per_ii as u64))
+                    .collect::<Vec<_>>()
+            );
+        },
+    );
+    print_table1(&rows);
+}

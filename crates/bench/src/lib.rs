@@ -1,0 +1,23 @@
+//! Experiment harness for the Rewire reproduction.
+//!
+//! One module per paper artefact:
+//!
+//! * [`workloads`] — the 47 benchmark–architecture combinations of Fig 5,
+//! * [`runner`] — runs a set of mappers over workloads and collects rows,
+//! * [`report`] — table/series printers and the summary statistics the
+//!   paper quotes (speedups, optimal/near-optimal counts, time reductions).
+//!
+//! The binaries `fig5`, `fig6`, `table1` and `repro` regenerate each paper
+//! artefact; see `EXPERIMENTS.md` at the workspace root for recorded
+//! outputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod runner;
+pub mod workloads;
+
+pub use report::{print_fig5, print_fig6, print_table1, summarize, to_markdown, Summary};
+pub use runner::{run_workloads, MapperKind, Row};
+pub use workloads::{fig5_workloads, fig6_workloads, table1_workloads, Workload};

@@ -1,0 +1,160 @@
+//! Runs mappers over workloads and collects result rows.
+
+use crate::workloads::Workload;
+use rewire_core::RewireMapper;
+use rewire_mappers::{MapLimits, Mapper, PathFinderConfig, PathFinderMapper, SaMapper};
+use std::time::Duration;
+
+/// The three mappers of the evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MapperKind {
+    /// The paper's contribution.
+    Rewire,
+    /// PathFinder-style baseline, faithful early termination.
+    PathFinder,
+    /// PathFinder-style baseline consuming the full per-II budget with
+    /// randomised restarts (the equal-budget compile-time setup).
+    PathFinderFullBudget,
+    /// Simulated-annealing baseline (re-anneals until the budget).
+    Annealing,
+}
+
+impl MapperKind {
+    /// Instantiates the mapper.
+    pub fn build(self) -> Box<dyn Mapper> {
+        match self {
+            MapperKind::Rewire => Box::new(RewireMapper::new()),
+            MapperKind::PathFinder => Box::new(PathFinderMapper::new()),
+            MapperKind::PathFinderFullBudget => {
+                Box::new(PathFinderMapper::with_config(PathFinderConfig {
+                    use_full_budget: true,
+                    ..Default::default()
+                }))
+            }
+            MapperKind::Annealing => Box::new(SaMapper::new()),
+        }
+    }
+
+    /// Column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MapperKind::Rewire => "Rewire",
+            MapperKind::PathFinder | MapperKind::PathFinderFullBudget => "PF*",
+            MapperKind::Annealing => "SA",
+        }
+    }
+}
+
+/// One mapper's result on one benchmark–architecture combination.
+#[derive(Clone, Debug)]
+pub struct MapperResult {
+    /// Which mapper produced it.
+    pub mapper: &'static str,
+    /// Achieved II (`None` = failed within budget).
+    pub achieved_ii: Option<u32>,
+    /// Total wall-clock compilation time.
+    pub elapsed: Duration,
+    /// Average single-node remapping iterations per explored II.
+    pub iterations_per_ii: f64,
+}
+
+/// One row of an experiment: a kernel on an architecture, with all mappers'
+/// results.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Architecture label.
+    pub config: &'static str,
+    /// Kernel name.
+    pub kernel: String,
+    /// Theoretical minimum II.
+    pub mii: u32,
+    /// Per-mapper results, in the order the mappers were passed.
+    pub results: Vec<MapperResult>,
+}
+
+/// Runs every `(kernel, architecture)` combination of `workloads` through
+/// `mappers` with the given per-II budget, calling `progress` after each
+/// row (for live output).
+pub fn run_workloads(
+    workloads: &[Workload],
+    mappers: &[MapperKind],
+    seconds_per_ii: f64,
+    mut progress: impl FnMut(&Row),
+) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for w in workloads {
+        let limits = MapLimits::benchmark().with_ii_time_budget(Duration::from_millis(
+            (seconds_per_ii * w.budget_scale * 1000.0) as u64,
+        ));
+        for dfg in &w.kernels {
+            let Some(mii) = dfg.mii(&w.cgra) else {
+                continue;
+            };
+            let mut results = Vec::new();
+            for &kind in mappers {
+                let mapper = kind.build();
+                let outcome = mapper.map(dfg, &w.cgra, &limits);
+                if let Some(m) = &outcome.mapping {
+                    assert!(m.is_valid(dfg, &w.cgra), "{} on {}", dfg.name(), w.label);
+                }
+                results.push(MapperResult {
+                    mapper: kind.label(),
+                    achieved_ii: outcome.stats.achieved_ii,
+                    elapsed: outcome.stats.elapsed,
+                    iterations_per_ii: outcome.stats.remap_iterations_per_ii(),
+                });
+            }
+            let row = Row {
+                config: w.label,
+                kernel: dfg.name().to_string(),
+                mii,
+                results,
+            };
+            progress(&row);
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::Workload;
+    use rewire_arch::presets;
+    use rewire_dfg::kernels;
+
+    #[test]
+    fn runner_produces_one_row_per_combination() {
+        let w = Workload {
+            label: "test",
+            budget_scale: 1.0,
+            cgra: presets::paper_4x4_r4(),
+            kernels: vec![kernels::fir(), kernels::atax()],
+        };
+        let mut seen = 0;
+        let rows = run_workloads(&[w], &[MapperKind::PathFinder], 0.3, |_| seen += 1);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(seen, 2);
+        for row in &rows {
+            assert_eq!(row.results.len(), 1);
+            assert_eq!(row.results[0].mapper, "PF*");
+            assert!(row.mii >= 1);
+        }
+    }
+
+    #[test]
+    fn mapper_kinds_build_and_label() {
+        for kind in [
+            MapperKind::Rewire,
+            MapperKind::PathFinder,
+            MapperKind::PathFinderFullBudget,
+            MapperKind::Annealing,
+        ] {
+            let mapper = kind.build();
+            assert!(!mapper.name().is_empty());
+            assert!(!kind.label().is_empty());
+        }
+        assert_eq!(MapperKind::PathFinderFullBudget.label(), "PF*");
+    }
+}

@@ -1,0 +1,161 @@
+//! Cluster selection and growth (Algorithm 1, lines 6 and 13).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rewire_dfg::{Dfg, NodeId};
+use std::collections::VecDeque;
+
+/// The target cluster `U`: the unmapped, connected node set re-mapped in
+/// one shot.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    members: Vec<NodeId>,
+}
+
+impl Cluster {
+    /// Selects an initial cluster: a random unmapped node plus unmapped
+    /// neighbours up to `size` members ("Rewire randomly selects several
+    /// unmapped connected nodes").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unmapped` is empty.
+    pub fn select(dfg: &Dfg, unmapped: &[NodeId], size: usize, rng: &mut StdRng) -> Self {
+        assert!(
+            !unmapped.is_empty(),
+            "cluster selection needs unmapped nodes"
+        );
+        let seed = unmapped[rng.random_range(0..unmapped.len())];
+        let mut members = vec![seed];
+        let mut queue = VecDeque::from([seed]);
+        while members.len() < size {
+            let Some(v) = queue.pop_front() else { break };
+            for n in dfg.neighbors(v) {
+                if members.len() >= size {
+                    break;
+                }
+                if unmapped.contains(&n) && !members.contains(&n) {
+                    members.push(n);
+                    queue.push_back(n);
+                }
+            }
+        }
+        Self { members }
+    }
+
+    /// The member nodes, in selection order.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Cluster size `|U|`.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the cluster is empty (never true for a selected cluster).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `node` belongs to the cluster.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.contains(&node)
+    }
+
+    /// Members sorted in DFG topological order (Alg. 2 line 1).
+    pub fn topo_sorted(&self, dfg: &Dfg) -> Vec<NodeId> {
+        dfg.topo_order()
+            .into_iter()
+            .filter(|v| self.contains(*v))
+            .collect()
+    }
+
+    /// Grows the cluster by the candidate with the least hop distance to
+    /// it ("we select the node that has the least DFS distance to the
+    /// cluster U"). Candidates are taken from `pool` (typically the
+    /// remaining unmapped nodes, falling back to mapped neighbours).
+    /// Returns the appended node, or `None` if the pool is empty or
+    /// unreachable.
+    pub fn grow(&mut self, dfg: &Dfg, pool: &[NodeId]) -> Option<NodeId> {
+        let best = pool
+            .iter()
+            .copied()
+            .filter(|n| !self.contains(*n))
+            .filter_map(|n| dfg.hop_distance_to_set(n, &self.members).map(|d| (d, n)))
+            .min_by_key(|&(d, n)| (d, n))?;
+        self.members.push(best.1);
+        Some(best.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rewire_arch::OpKind;
+
+    fn chain(n: usize) -> (Dfg, Vec<NodeId>) {
+        let mut dfg = Dfg::new("chain");
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| dfg.add_node(format!("n{i}"), OpKind::Add))
+            .collect();
+        for w in ids.windows(2) {
+            dfg.add_edge(w[0], w[1], 0).unwrap();
+        }
+        (dfg, ids)
+    }
+
+    #[test]
+    fn selection_is_connected_and_bounded() {
+        let (dfg, ids) = chain(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cluster = Cluster::select(&dfg, &ids, 4, &mut rng);
+        assert_eq!(cluster.len(), 4);
+        // Connected: every member (but the seed) has a neighbour inside.
+        for &m in cluster.members() {
+            let has_inside_neighbor = dfg.neighbors(m).iter().any(|n| cluster.contains(*n));
+            assert!(has_inside_neighbor || cluster.len() == 1);
+        }
+    }
+
+    #[test]
+    fn selection_respects_unmapped_pool() {
+        let (dfg, ids) = chain(6);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Only odd nodes available: clusters can't include even ones.
+        let pool: Vec<NodeId> = ids.iter().copied().skip(1).step_by(2).collect();
+        let cluster = Cluster::select(&dfg, &pool, 4, &mut rng);
+        for m in cluster.members() {
+            assert!(pool.contains(m));
+        }
+    }
+
+    #[test]
+    fn grow_picks_nearest() {
+        let (dfg, ids) = chain(6);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut cluster = Cluster::select(&dfg, &ids[0..1], 1, &mut rng);
+        assert_eq!(cluster.members(), &[ids[0]]);
+        let grown = cluster.grow(&dfg, &[ids[3], ids[1]]).unwrap();
+        assert_eq!(grown, ids[1], "hop distance 1 beats 3");
+        assert_eq!(cluster.len(), 2);
+    }
+
+    #[test]
+    fn grow_returns_none_on_empty_pool() {
+        let (dfg, ids) = chain(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut cluster = Cluster::select(&dfg, &ids, 3, &mut rng);
+        assert!(cluster.grow(&dfg, &[]).is_none());
+    }
+
+    #[test]
+    fn topo_sorted_respects_dependencies() {
+        let (dfg, ids) = chain(5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let cluster = Cluster::select(&dfg, &ids, 5, &mut rng);
+        let sorted = cluster.topo_sorted(&dfg);
+        assert_eq!(sorted, ids, "chain topological order is the chain itself");
+    }
+}

@@ -1,0 +1,475 @@
+//! Routing propagation (§IV-C of the paper).
+//!
+//! Values of the cluster's mapped parents are flooded forward through the
+//! network; mapped children are flooded backward. Each wavefront visit
+//! produces a *propagation tuple* — the paper's probe of network
+//! utilisation: `(source node, direction, PE, cycle)`. Tuples are
+//! deduplicated on exactly that key ("no existing tuple at that PE with the
+//! identical combination of source node, routing cycle count, and
+//! propagation direction"), and propagation continues through cells already
+//! visited by *other* tuples, because the goal is exploring potential
+//! routing paths, not final allocation. Cells used by the current (valid
+//! part of the) mapping block propagation unless they already carry the
+//! propagated signal (fan-out sharing).
+
+use rewire_arch::{Cgra, PeId};
+use rewire_dfg::NodeId;
+use rewire_mrrg::{Occupancy, Resource};
+use std::collections::{HashMap, VecDeque};
+
+/// Propagation direction of a tuple.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Direction {
+    /// From a mapped parent, following data flow.
+    Forward,
+    /// From a mapped child, against data flow.
+    Backward,
+}
+
+/// One propagation source.
+#[derive(Clone, Copy, Debug)]
+pub struct PropagationSeed {
+    /// The mapped DFG node the wave originates from.
+    pub source: NodeId,
+    /// Wave direction.
+    pub direction: Direction,
+    /// PE the wave starts from (the source's PE, or — for backward
+    /// delivery seeds — an upstream neighbour of it).
+    pub pe: PeId,
+    /// Seed cycle: for forward waves, the cycle the source's value first
+    /// appears on its output wire (`t + 1`); for backward waves, the cycle
+    /// a value must *arrive* at the source to be consumed
+    /// (`t + distance·II`).
+    pub cycle: u32,
+    /// Wave identity tag. Waves from the same source with different
+    /// deadlines (e.g. two consuming edges with different iteration
+    /// distances) must not share tuples, so the tag — by convention the
+    /// principal seed cycle — separates them.
+    pub wave: u32,
+}
+
+/// The tuple store: for every `(source, direction)` wave, the set of
+/// `(PE, cycle)` positions reached.
+///
+/// A *position* `(pe, c)` means: forward — the source's value can be read
+/// by an FU on `pe` during cycle `c`; backward — a value readable on `pe`
+/// during cycle `c` can still reach the source in time.
+#[derive(Clone, Debug, Default)]
+pub struct TupleStore {
+    waves: HashMap<(NodeId, Direction, u32), Vec<Vec<u32>>>,
+    num_tuples: u64,
+}
+
+impl TupleStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sorted cycles at which the tagged wave reaches `pe`.
+    pub fn cycles(&self, source: NodeId, direction: Direction, wave: u32, pe: PeId) -> &[u32] {
+        self.waves
+            .get(&(source, direction, wave))
+            .map(|per_pe| per_pe[pe.index()].as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Whether the wave reaches `pe` exactly at `cycle`.
+    pub fn contains(
+        &self,
+        source: NodeId,
+        direction: Direction,
+        wave: u32,
+        pe: PeId,
+        cycle: u32,
+    ) -> bool {
+        self.cycles(source, direction, wave, pe)
+            .binary_search(&cycle)
+            .is_ok()
+    }
+
+    /// Whether the wave reaches `pe` at any cycle `≤ cycle` (forward
+    /// transitive requirement).
+    pub fn contains_at_or_before(
+        &self,
+        source: NodeId,
+        direction: Direction,
+        wave: u32,
+        pe: PeId,
+        cycle: u32,
+    ) -> bool {
+        self.cycles(source, direction, wave, pe)
+            .first()
+            .is_some_and(|&c| c <= cycle)
+    }
+
+    /// Whether the wave reaches `pe` at any cycle `≥ cycle` (backward
+    /// transitive requirement).
+    pub fn contains_at_or_after(
+        &self,
+        source: NodeId,
+        direction: Direction,
+        wave: u32,
+        pe: PeId,
+        cycle: u32,
+    ) -> bool {
+        self.cycles(source, direction, wave, pe)
+            .last()
+            .is_some_and(|&c| c >= cycle)
+    }
+
+    /// Total number of tuples generated.
+    pub fn num_tuples(&self) -> u64 {
+        self.num_tuples
+    }
+
+    fn insert(
+        &mut self,
+        num_pes: usize,
+        source: NodeId,
+        dir: Direction,
+        wave: u32,
+        pe: PeId,
+        cycle: u32,
+    ) -> bool {
+        let per_pe = self
+            .waves
+            .entry((source, dir, wave))
+            .or_insert_with(|| vec![Vec::new(); num_pes]);
+        let cycles = &mut per_pe[pe.index()];
+        match cycles.binary_search(&cycle) {
+            Ok(_) => false,
+            Err(pos) => {
+                cycles.insert(pos, cycle);
+                self.num_tuples += 1;
+                true
+            }
+        }
+    }
+}
+
+/// Runs all waves simultaneously for `rounds` wavefront steps over the
+/// network, blocked only by cells the current mapping claims for *other*
+/// signals, and returns the tuple store.
+///
+/// One round advances every wave by one cycle: a value either crosses a
+/// link or waits in a register of its current PE. The consuming/producing
+/// delivery hop (see the `rewire-mrrg` timing contract) is accounted for at
+/// intersection time, not here.
+pub fn propagate(
+    cgra: &Cgra,
+    occ: &Occupancy,
+    seeds: &[PropagationSeed],
+    rounds: u32,
+) -> TupleStore {
+    let mut store = TupleStore::new();
+    let num_pes = cgra.num_pes();
+    let mrrg = occ.mrrg();
+
+    for seed in seeds {
+        let mut frontier: VecDeque<(PeId, u32)> = VecDeque::new();
+        if store.insert(
+            num_pes,
+            seed.source,
+            seed.direction,
+            seed.wave,
+            seed.pe,
+            seed.cycle,
+        ) {
+            frontier.push_back((seed.pe, seed.cycle));
+        }
+        // Each wave is an independent BFS over (pe, cycle) positions; the
+        // per-(source, dir, pe, cycle) dedup in `insert` is the paper's
+        // redundancy filter.
+        while let Some((pe, cycle)) = frontier.pop_front() {
+            let steps_taken = cycle.abs_diff(seed.wave);
+            if steps_taken >= rounds {
+                continue;
+            }
+            let (move_cycle, next_cycle) = match seed.direction {
+                // Forward: a move during `cycle` makes the value readable
+                // at `cycle + 1`.
+                Direction::Forward => (cycle, cycle + 1),
+                // Backward: a value readable at `cycle - 1` can move
+                // during `cycle - 1` to be readable here at `cycle`.
+                Direction::Backward => {
+                    if cycle == 0 {
+                        continue;
+                    }
+                    (cycle - 1, cycle - 1)
+                }
+            };
+            let slot = mrrg.slot_of(move_cycle);
+
+            // Register wait on the same PE: usable if any register cell is
+            // free or already carries this signal (any phase — propagation
+            // is an optimistic probe, verification is exact).
+            let reg_ok = (0..cgra.regs_per_pe())
+                .any(|r| occ.usable_by_any_phase(Resource::Reg { pe, reg: r, slot }, seed.source));
+            if reg_ok
+                && store.insert(
+                    num_pes,
+                    seed.source,
+                    seed.direction,
+                    seed.wave,
+                    pe,
+                    next_cycle,
+                )
+            {
+                frontier.push_back((pe, next_cycle));
+            }
+
+            // Link hops.
+            match seed.direction {
+                Direction::Forward => {
+                    for link in cgra.links_from(pe) {
+                        let cell = Resource::Link {
+                            link: link.id(),
+                            slot,
+                        };
+                        if occ.usable_by_any_phase(cell, seed.source)
+                            && store.insert(
+                                num_pes,
+                                seed.source,
+                                seed.direction,
+                                seed.wave,
+                                link.dst(),
+                                next_cycle,
+                            )
+                        {
+                            frontier.push_back((link.dst(), next_cycle));
+                        }
+                    }
+                }
+                Direction::Backward => {
+                    for link in cgra.links_to(pe) {
+                        let cell = Resource::Link {
+                            link: link.id(),
+                            slot,
+                        };
+                        if occ.usable_by_any_phase(cell, seed.source)
+                            && store.insert(
+                                num_pes,
+                                seed.source,
+                                seed.direction,
+                                seed.wave,
+                                link.src(),
+                                next_cycle,
+                            )
+                        {
+                            frontier.push_back((link.src(), next_cycle));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rewire_arch::{presets, Coord};
+    use rewire_mrrg::Mrrg;
+
+    fn setup(ii: u32) -> (rewire_arch::Cgra, Occupancy) {
+        let cgra = presets::paper_4x4_r4();
+        let occ = Occupancy::new(&Mrrg::new(&cgra, ii));
+        (cgra, occ)
+    }
+
+    fn pe(cgra: &rewire_arch::Cgra, r: u16, c: u16) -> PeId {
+        cgra.pe_at(Coord::new(r, c)).unwrap().id()
+    }
+
+    #[test]
+    fn forward_wave_reaches_manhattan_ball() {
+        let (cgra, occ) = setup(2);
+        let src = pe(&cgra, 0, 0);
+        let seeds = [PropagationSeed {
+            source: NodeId::new(0),
+            direction: Direction::Forward,
+            pe: src,
+            cycle: 1,
+            wave: 1,
+        }];
+        let store = propagate(&cgra, &occ, &seeds, 3);
+        // After up to 3 moves the value reaches every PE within distance 3.
+        for p in cgra.pes() {
+            let d = cgra.distance(src, p.id());
+            let reached = !store
+                .cycles(NodeId::new(0), Direction::Forward, 1, p.id())
+                .is_empty();
+            assert_eq!(reached, d <= 3, "{} at distance {d}", p.id());
+            if d > 0 && reached {
+                // Earliest arrival = seed cycle + Manhattan distance.
+                let first = store.cycles(NodeId::new(0), Direction::Forward, 1, p.id())[0];
+                assert_eq!(first, 1 + d);
+            }
+        }
+    }
+
+    #[test]
+    fn backward_wave_runs_down_in_time() {
+        let (cgra, occ) = setup(2);
+        let dst = pe(&cgra, 1, 1);
+        let seeds = [PropagationSeed {
+            source: NodeId::new(7),
+            direction: Direction::Backward,
+            pe: dst,
+            cycle: 6,
+            wave: 6,
+        }];
+        let store = propagate(&cgra, &occ, &seeds, 2);
+        // A PE at distance 2 can still make the 6-cycle deadline if the
+        // value leaves by cycle 4.
+        let far = pe(&cgra, 1, 3);
+        assert!(store.contains(NodeId::new(7), Direction::Backward, 6, far, 4));
+        // But not if it only becomes available at cycle 5.
+        assert!(!store.contains(NodeId::new(7), Direction::Backward, 6, far, 5));
+        // Waiting in registers is also possible: the destination itself at
+        // earlier cycles.
+        assert!(store.contains(NodeId::new(7), Direction::Backward, 6, dst, 4));
+    }
+
+    #[test]
+    fn dedup_prevents_duplicate_tuples() {
+        let (cgra, occ) = setup(2);
+        let src = pe(&cgra, 0, 0);
+        let seeds = [PropagationSeed {
+            source: NodeId::new(0),
+            direction: Direction::Forward,
+            pe: src,
+            cycle: 1,
+            wave: 1,
+        }];
+        let store = propagate(&cgra, &occ, &seeds, 4);
+        // Tuples are unique per (source, dir, pe, cycle); with 4 rounds on
+        // a 4×4 mesh the count must stay well under pes × (rounds + 1).
+        assert!(store.num_tuples() <= (cgra.num_pes() as u64) * 5);
+    }
+
+    #[test]
+    fn occupied_cells_block_foreign_waves_but_not_own() {
+        let (cgra, mut occ) = setup(1);
+        let src = pe(&cgra, 0, 0);
+        // Claim every outgoing link and register of the source PE for
+        // signal 9 (II = 1: one slot).
+        for l in cgra.links_from(src) {
+            occ.claim(
+                Resource::Link {
+                    link: l.id(),
+                    slot: 0,
+                },
+                NodeId::new(9),
+                0,
+            );
+        }
+        for r in 0..cgra.regs_per_pe() {
+            occ.claim(
+                Resource::Reg {
+                    pe: src,
+                    reg: r,
+                    slot: 0,
+                },
+                NodeId::new(9),
+                0,
+            );
+        }
+        // A foreign wave is stuck at its seed.
+        let foreign = [PropagationSeed {
+            source: NodeId::new(1),
+            direction: Direction::Forward,
+            pe: src,
+            cycle: 1,
+            wave: 1,
+        }];
+        let store = propagate(&cgra, &occ, &foreign, 3);
+        assert_eq!(store.num_tuples(), 1, "only the seed itself");
+
+        // The owning signal shares its own cells and escapes.
+        let own = [PropagationSeed {
+            source: NodeId::new(9),
+            direction: Direction::Forward,
+            pe: src,
+            cycle: 1,
+            wave: 1,
+        }];
+        let store = propagate(&cgra, &occ, &own, 3);
+        assert!(store.num_tuples() > 1);
+    }
+
+    #[test]
+    fn rounds_bound_the_horizon() {
+        let (cgra, occ) = setup(2);
+        let seeds = [PropagationSeed {
+            source: NodeId::new(0),
+            direction: Direction::Forward,
+            pe: pe(&cgra, 0, 0),
+            cycle: 1,
+            wave: 1,
+        }];
+        let store = propagate(&cgra, &occ, &seeds, 2);
+        for p in cgra.pes() {
+            for &c in store.cycles(NodeId::new(0), Direction::Forward, 1, p.id()) {
+                assert!(c <= 3, "cycle {c} beyond 2 rounds from seed 1");
+            }
+        }
+    }
+
+    #[test]
+    fn waves_with_different_tags_stay_isolated() {
+        // Regression: one source consumed by two edges with different
+        // deadlines must produce two separate waves — merging them once let
+        // candidates satisfy one edge's timing with the other edge's
+        // tuples, producing structurally-valid but impossible requests.
+        let (cgra, occ) = setup(2);
+        let src = pe(&cgra, 1, 1);
+        let seeds = [
+            PropagationSeed {
+                source: NodeId::new(3),
+                direction: Direction::Backward,
+                pe: src,
+                cycle: 5,
+                wave: 5,
+            },
+            PropagationSeed {
+                source: NodeId::new(3),
+                direction: Direction::Backward,
+                pe: src,
+                cycle: 9,
+                wave: 9,
+            },
+        ];
+        let store = propagate(&cgra, &occ, &seeds, 3);
+        // The wave-5 tag never contains cycles from the wave-9 seed.
+        for p in cgra.pes() {
+            for &c in store.cycles(NodeId::new(3), Direction::Backward, 5, p.id()) {
+                assert!(c <= 5, "wave 5 leaked cycle {c}");
+            }
+            for &c in store.cycles(NodeId::new(3), Direction::Backward, 9, p.id()) {
+                assert!((6..=9).contains(&c), "wave 9 has cycle {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_queries() {
+        let (cgra, occ) = setup(2);
+        let src = pe(&cgra, 0, 0);
+        let seeds = [PropagationSeed {
+            source: NodeId::new(0),
+            direction: Direction::Forward,
+            pe: src,
+            cycle: 1,
+            wave: 1,
+        }];
+        let store = propagate(&cgra, &occ, &seeds, 3);
+        let nb = pe(&cgra, 0, 1);
+        assert!(store.contains_at_or_before(NodeId::new(0), Direction::Forward, 1, nb, 5));
+        assert!(!store.contains_at_or_before(NodeId::new(0), Direction::Forward, 1, nb, 1));
+        assert!(store.contains_at_or_after(NodeId::new(0), Direction::Forward, 1, nb, 2));
+        assert!(!store.contains_at_or_after(NodeId::new(0), Direction::Forward, 1, nb, 9));
+    }
+}

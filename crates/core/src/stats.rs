@@ -1,0 +1,74 @@
+//! Rewire-specific counters (beyond the generic
+//! [`MapStats`](rewire_mappers::MapStats)).
+
+/// Counters accumulated across one [`RewireMapper`](crate::RewireMapper)
+/// run. The verification success rate substantiates the paper's "around
+/// 95 %" claim for generated `Placement(U)`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RewireStats {
+    /// Clusters selected for amendment (including regrown ones).
+    pub clusters_attempted: u64,
+    /// Times a cluster was grown by one node after a failed attempt.
+    pub cluster_growths: u64,
+    /// Propagation tuples generated in total.
+    pub tuples_generated: u64,
+    /// `Placement(U)` combinations that reached routing verification.
+    pub verifications: u64,
+    /// Verifications that routed successfully.
+    pub verification_successes: u64,
+    /// Combinations pruned by the execution-cycle constraints before
+    /// verification.
+    pub combinations_pruned: u64,
+}
+
+impl RewireStats {
+    /// Fraction of verified `Placement(U)` that routed successfully.
+    pub fn verification_success_rate(&self) -> f64 {
+        if self.verifications == 0 {
+            0.0
+        } else {
+            self.verification_successes as f64 / self.verifications as f64
+        }
+    }
+
+    /// Merges another run's counters into this one.
+    pub fn merge(&mut self, other: &RewireStats) {
+        self.clusters_attempted += other.clusters_attempted;
+        self.cluster_growths += other.cluster_growths;
+        self.tuples_generated += other.tuples_generated;
+        self.verifications += other.verifications;
+        self.verification_successes += other.verification_successes;
+        self.combinations_pruned += other.combinations_pruned;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_rate() {
+        let mut s = RewireStats::default();
+        assert_eq!(s.verification_success_rate(), 0.0);
+        s.verifications = 20;
+        s.verification_successes = 19;
+        assert!((s.verification_success_rate() - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RewireStats {
+            clusters_attempted: 1,
+            verifications: 2,
+            ..Default::default()
+        };
+        let b = RewireStats {
+            clusters_attempted: 3,
+            verifications: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.clusters_attempted, 4);
+        assert_eq!(a.verifications, 7);
+    }
+}

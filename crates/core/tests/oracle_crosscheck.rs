@@ -1,0 +1,67 @@
+//! Optimality cross-checks: on tiny DFGs where the exhaustive oracle can
+//! determine the true minimum II, Rewire must reach it too.
+
+use rewire_arch::{presets, OpKind};
+use rewire_core::RewireMapper;
+use rewire_dfg::Dfg;
+use rewire_mappers::{ExhaustiveMapper, MapLimits, Mapper};
+use std::time::Duration;
+
+fn limits() -> MapLimits {
+    MapLimits::fast().with_ii_time_budget(Duration::from_secs(3))
+}
+
+#[test]
+fn rewire_matches_the_oracle_on_chains() {
+    let cgra = presets::paper_4x4_r4();
+    for n in [3usize, 5, 8] {
+        let mut dfg = Dfg::new(format!("chain{n}"));
+        let mut prev = dfg.add_node("ld", OpKind::Load);
+        for i in 1..n {
+            let v = dfg.add_node(format!("a{i}"), OpKind::Add);
+            dfg.add_edge(prev, v, 0).unwrap();
+            prev = v;
+        }
+        let oracle = ExhaustiveMapper::new().map(&dfg, &cgra, &limits());
+        let rewire = RewireMapper::new().map(&dfg, &cgra, &limits());
+        assert_eq!(
+            rewire.stats.achieved_ii, oracle.stats.achieved_ii,
+            "chain of {n}"
+        );
+    }
+}
+
+#[test]
+fn rewire_matches_the_oracle_on_a_recurrence() {
+    let cgra = presets::paper_4x4_r4();
+    let mut dfg = Dfg::new("acc");
+    let phi = dfg.add_node("phi", OpKind::Phi);
+    let c = dfg.add_node("c", OpKind::Const);
+    let add = dfg.add_node("add", OpKind::Add);
+    let st = dfg.add_node("st", OpKind::Store);
+    dfg.add_edge(phi, add, 0).unwrap();
+    dfg.add_edge(c, add, 0).unwrap();
+    dfg.add_edge(add, phi, 1).unwrap();
+    dfg.add_edge(add, st, 0).unwrap();
+    let oracle = ExhaustiveMapper::new().map(&dfg, &cgra, &limits());
+    let rewire = RewireMapper::new().map(&dfg, &cgra, &limits());
+    assert_eq!(oracle.stats.achieved_ii, Some(2));
+    assert_eq!(rewire.stats.achieved_ii, Some(2));
+}
+
+#[test]
+fn rewire_matches_the_oracle_on_a_diamond_with_memory() {
+    let cgra = presets::paper_4x4_r2();
+    let mut dfg = Dfg::new("d");
+    let ld = dfg.add_node("ld", OpKind::Load);
+    let a = dfg.add_node("a", OpKind::Add);
+    let b = dfg.add_node("b", OpKind::Mul);
+    let st = dfg.add_node("st", OpKind::Store);
+    dfg.add_edge(ld, a, 0).unwrap();
+    dfg.add_edge(ld, b, 0).unwrap();
+    dfg.add_edge(a, st, 0).unwrap();
+    dfg.add_edge(b, st, 0).unwrap();
+    let oracle = ExhaustiveMapper::new().map(&dfg, &cgra, &limits());
+    let rewire = RewireMapper::new().map(&dfg, &cgra, &limits());
+    assert_eq!(rewire.stats.achieved_ii, oracle.stats.achieved_ii);
+}

@@ -1,0 +1,202 @@
+//! PolyBench-style factorization / decomposition kernels.
+//!
+//! These kernels carry genuine loop-carried memory dependencies (the pivot
+//! row/column written in one iteration is consumed in the next), which is
+//! what makes them recurrence-bound and hard to map at low II — the paper
+//! calls out cholesky/ludcmp as only mappable on the 8×8 fabric.
+
+use super::KernelBuilder;
+use crate::Dfg;
+
+/// `lu`: in-place LU factorization elimination step —
+/// `A[k][j] /= A[k][k]`, then `A[i][j] -= A[i][k]·A[k][j]`, two column
+/// lanes per iteration.
+pub fn lu() -> Dfg {
+    let mut k = KernelBuilder::new("lu");
+    let i = k.induction();
+    let j = k.induction();
+    let kk = k.induction();
+
+    // Pivot normalisation of row k.
+    let pivot_addr = k.address(&[kk, kk]);
+    let ld_pivot = k.load(pivot_addr);
+    let akj_addr = k.address(&[kk, j]);
+    let ld_akj = k.load(akj_addr);
+    let norm = k.div(ld_akj, ld_pivot);
+    let st_norm = k.store(akj_addr, norm);
+    k.loop_dep(st_norm, ld_akj, 1);
+
+    // Elimination lane 1.
+    let aik = k.load_at(&[i, kk]);
+    let t = k.mul(aik, norm);
+    let aij_addr = k.address(&[i, j]);
+    let ld_aij = k.load(aij_addr);
+    let e1 = k.sub(ld_aij, t);
+    let st_aij = k.store(aij_addr, e1);
+    k.loop_dep(st_aij, ld_aij, 2);
+    k.loop_dep(st_aij, ld_pivot, 2); // next pivot comes from eliminated rows
+
+    // Elimination lane 2 (adjacent column).
+    let ld_akj2 = k.load_at(&[kk, j]);
+    let norm2 = k.div(ld_akj2, ld_pivot);
+    let t2 = k.mul(aik, norm2);
+    let ld_aij2 = k.load_at(&[i, j]);
+    let e2 = k.sub(ld_aij2, t2);
+    let st2 = k.store_at(&[i, j], e2);
+    k.loop_dep(st2, ld_akj2, 2);
+
+    let _gj = k.loop_guard(j);
+    let _gi = k.loop_guard(i);
+    k.build()
+}
+
+/// `ludcmp`: LU decomposition fused with the forward-substitution solve
+/// `y = L⁻¹·b`.
+pub fn ludcmp() -> Dfg {
+    let mut k = KernelBuilder::new("ludcmp");
+    let i = k.induction();
+    let j = k.induction();
+    let kk = k.induction();
+
+    // Decomposition step (as in `lu`).
+    let pivot_addr = k.address(&[kk, kk]);
+    let ld_pivot = k.load(pivot_addr);
+    let akj_addr = k.address(&[kk, j]);
+    let ld_akj = k.load(akj_addr);
+    let norm = k.div(ld_akj, ld_pivot);
+    let aik = k.load_at(&[i, kk]);
+    let t = k.mul(aik, norm);
+    let aij_addr = k.address(&[i, j]);
+    let ld_aij = k.load(aij_addr);
+    let e = k.sub(ld_aij, t);
+    let st_aij = k.store(aij_addr, e);
+    k.loop_dep(st_aij, ld_aij, 2);
+    k.loop_dep(st_aij, ld_pivot, 2);
+
+    // Forward substitution: y[i] = (b[i] - Σ_j L[i][j]·y[j]) / L[i][i].
+    let ld_b = k.load_at(&[i]);
+    let ld_l = k.load_at(&[i, j]);
+    let ld_y = k.load_at(&[j]);
+    let ly = k.mul(ld_l, ld_y);
+    let acc = k.accumulate(ly, 1);
+    let num = k.sub(ld_b, acc);
+    let ld_diag = k.load_at(&[i, i]);
+    let y = k.div(num, ld_diag);
+    let st_y = k.store_at(&[i], y);
+    k.loop_dep(st_y, ld_y, 2); // y[j] produced by earlier rows
+
+    let _gj = k.loop_guard(j);
+    let _gi = k.loop_guard(i);
+    k.build()
+}
+
+/// `cholesky`: `A = L·Lᵀ` factorization step with the diagonal
+/// square-root / off-diagonal division split resolved by a predicate.
+pub fn cholesky() -> Dfg {
+    let mut k = KernelBuilder::new("cholesky");
+    let i = k.induction();
+    let j = k.induction();
+    let kk = k.induction();
+
+    // sum = Σ_k L[i][k]·L[j][k]
+    let ld_lik = k.load_at(&[i, kk]);
+    let ld_ljk = k.load_at(&[j, kk]);
+    let t = k.mul(ld_lik, ld_ljk);
+    let acc = k.accumulate(t, 1);
+
+    // Second reduction lane (partial inner unroll).
+    let ld_lik2 = k.load_at(&[i, kk]);
+    let ld_ljk2 = k.load_at(&[j, kk]);
+    let t2 = k.mul(ld_lik2, ld_ljk2);
+    let acc2 = k.accumulate(t2, 1);
+    let lanes = k.add(acc, acc2);
+
+    let ld_aij = k.load_at(&[i, j]);
+    let x = k.sub(ld_aij, lanes);
+
+    // Diagonal: L[j][j] = sqrt(x).
+    let root = k.sqrt(x);
+    let diag_addr = k.address(&[j, j]);
+    let st_diag = k.store(diag_addr, root);
+
+    // Off-diagonal: L[i][j] = x / L[j][j].
+    let ld_diag = k.load(diag_addr);
+    k.loop_dep(st_diag, ld_diag, 2);
+    let val = k.div(x, ld_diag);
+    let ondiag = k.binary(rewire_arch::OpKind::Cmp, i, j);
+    let sel = k.binary(rewire_arch::OpKind::Select, ondiag, val);
+    let st = k.store_at(&[i, j], sel);
+    k.loop_dep(st, ld_lik, 2);
+
+    let _gk = k.loop_guard(kk);
+    let _gj = k.loop_guard(j);
+    k.build()
+}
+
+/// `gramschmidt`: modified Gram–Schmidt orthogonalisation — column norm,
+/// normalisation, and projection subtraction.
+pub fn gramschmidt() -> Dfg {
+    let mut k = KernelBuilder::new("gramschmidt");
+    let i = k.induction();
+    let j = k.induction();
+    let kk = k.induction();
+
+    // nrm = sqrt(Σ_i A[i][k]²); R[k][k] = nrm.
+    let ld_a = k.load_at(&[i, kk]);
+    let sq = k.mul(ld_a, ld_a);
+    let acc_nrm = k.accumulate(sq, 1);
+    let nrm = k.sqrt(acc_nrm);
+    let _st_r = k.store_at(&[kk], nrm);
+
+    // Q[i][k] = A[i][k] / nrm.
+    let ld_a2 = k.load_at(&[i, kk]);
+    let q = k.div(ld_a2, nrm);
+    let st_q = k.store_at(&[i, kk], q);
+
+    // R[k][j] = Σ_i Q[i][k]·A[i][j]; A[i][j] -= Q[i][k]·R[k][j].
+    let ld_q = k.load_at(&[i, kk]);
+    k.loop_dep(st_q, ld_q, 1);
+    let ld_aj = k.load_at(&[i, j]);
+    let t = k.mul(ld_q, ld_aj);
+    let acc_r = k.accumulate(t, 1);
+    let st_rkj = k.store_at(&[kk, j], acc_r);
+    let proj = k.mul(ld_q, acc_r);
+    let upd = k.sub(ld_aj, proj);
+    let st_a = k.store_at(&[i, j], upd);
+    k.loop_dep(st_a, ld_aj, 2);
+    k.loop_dep(st_rkj, ld_a, 2); // next column's norm sees updated A
+
+    let _gi = k.loop_guard(i);
+    let _gj = k.loop_guard(j);
+    k.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorizations_are_recurrence_bound() {
+        for g in [lu(), ludcmp(), cholesky(), gramschmidt()] {
+            assert!(
+                g.rec_mii() >= 2,
+                "{} should have a real recurrence, got RecMII {}",
+                g.name(),
+                g.rec_mii()
+            );
+        }
+    }
+
+    #[test]
+    fn cholesky_has_sqrt_and_div() {
+        use rewire_arch::OpKind;
+        let g = cholesky();
+        assert!(g.nodes().any(|n| n.op() == OpKind::Sqrt));
+        assert!(g.nodes().any(|n| n.op() == OpKind::Div));
+    }
+
+    #[test]
+    fn ludcmp_is_larger_than_lu() {
+        assert!(ludcmp().num_nodes() > lu().num_nodes());
+    }
+}

@@ -1,0 +1,446 @@
+//! PolyBench-style linear-algebra kernels (BLAS and solvers' inner loops).
+
+use super::KernelBuilder;
+use crate::Dfg;
+
+/// `gesummv`: `y = α·A·x + β·B·x` — two simultaneous matrix–vector
+/// accumulations combined with scalar weights.
+pub fn gesummv() -> Dfg {
+    let mut k = KernelBuilder::new("gesummv");
+    let i = k.induction();
+    let j = k.induction();
+
+    let ld_a = k.load_at(&[i, j]);
+    let ld_b = k.load_at(&[i, j]);
+    let ld_x = k.load_at(&[j]);
+
+    let t1 = k.mul(ld_a, ld_x);
+    let t2 = k.mul(ld_b, ld_x);
+    let acc1 = k.accumulate(t1, 1);
+    let acc2 = k.accumulate(t2, 1);
+
+    // Second A lane (partial inner unroll).
+    let ld_a2 = k.load_at(&[i, j]);
+    let ld_x2 = k.load_at(&[j]);
+    let t3 = k.mul(ld_a2, ld_x2);
+    let acc3 = k.accumulate(t3, 1);
+    let a_lanes = k.add(acc1, acc3);
+
+    let alpha = k.konst();
+    let beta = k.konst();
+    let s1 = k.mul(alpha, a_lanes);
+    let s2 = k.mul(beta, acc2);
+    let y = k.add(s1, s2);
+
+    let st = k.store_at(&[i], y);
+    let ld_prev = k.load_at(&[i]);
+    k.loop_dep(st, ld_prev, 1); // y[i] written then read next row sweep
+    let y2 = k.add(y, ld_prev);
+    let _st2 = k.store_at(&[i], y2);
+
+    let _g = k.loop_guard(j);
+    k.build()
+}
+
+/// `atax`: `y = Aᵀ(A·x)` — matrix–vector product followed by a transposed
+/// product, with a memory-carried dependency through `tmp`.
+pub fn atax() -> Dfg {
+    let mut k = KernelBuilder::new("atax");
+    let i = k.induction();
+    let j = k.induction();
+
+    // tmp[i] += A[i][j] * x[j]
+    let a_addr = k.address(&[i, j]);
+    let ld_a = k.load(a_addr);
+    let ld_x = k.load_at(&[j]);
+    let scale = k.konst();
+    let xs = k.mul(ld_x, scale);
+    let t = k.mul(ld_a, xs);
+    let tmp = k.accumulate(t, 1);
+
+    // Second column lane (partial inner unroll).
+    let ld_a3 = k.load_at(&[i, j]);
+    let t3 = k.mul(ld_a3, xs);
+    let tmp2 = k.accumulate(t3, 1);
+    let comb = k.add(tmp, tmp2);
+    let st_tmp = k.store_at(&[i], comb);
+
+    // y[j] += A[i][j] * tmp[i]
+    let ld_a2 = k.load(a_addr);
+    let ld_tmp = k.load_at(&[i]);
+    k.loop_dep(st_tmp, ld_tmp, 1);
+    let t2 = k.mul(ld_a2, ld_tmp);
+    let alpha = k.konst();
+    let t2s = k.mul(t2, alpha);
+    let ld_y = k.load_at(&[j]);
+    let y2 = k.add(ld_y, t2s);
+    let st_y = k.store_at(&[j], y2);
+    k.loop_dep(st_y, ld_y, 1);
+
+    let _gi = k.loop_guard(i);
+    let _gj = k.loop_guard(j);
+    k.build()
+}
+
+/// `bicg`: the BiCG sub-kernel — `s = Aᵀ·r` and `q = A·p` in one sweep.
+pub fn bicg() -> Dfg {
+    let mut k = KernelBuilder::new("bicg");
+    let i = k.induction();
+    let j = k.induction();
+
+    let a_addr = k.address(&[i, j]);
+    let ld_a = k.load(a_addr);
+
+    // s[j] = s[j] + r[i] * A[i][j]
+    let ld_r = k.load_at(&[i]);
+    let t1 = k.mul(ld_r, ld_a);
+    let ld_s = k.load_at(&[j]);
+    let s2 = k.add(ld_s, t1);
+    let st_s = k.store_at(&[j], s2);
+    k.loop_dep(st_s, ld_s, 1);
+
+    // q[i] = q[i] + A[i][j] * p[j]
+    let ld_p = k.load_at(&[j]);
+    let t2 = k.mul(ld_a, ld_p);
+    let q = k.accumulate(t2, 1);
+
+    // Second q lane (partial inner unroll).
+    let ld_p2 = k.load_at(&[j]);
+    let t3 = k.mul(ld_a, ld_p2);
+    let q3 = k.accumulate(t3, 1);
+    let qsum = k.add(q, q3);
+    let st_q = k.store_at(&[i], qsum);
+    let ld_q = k.load_at(&[i]);
+    k.loop_dep(st_q, ld_q, 1);
+    let q2 = k.add(q, ld_q);
+    let _st_q2 = k.store_at(&[i], q2);
+
+    let _gj = k.loop_guard(j);
+    k.build()
+}
+
+/// `mvt`: `x1 += A·y1` and `x2 += Aᵀ·y2` fused in one loop nest.
+pub fn mvt() -> Dfg {
+    let mut k = KernelBuilder::new("mvt");
+    let i = k.induction();
+    let j = k.induction();
+
+    let a_addr = k.address(&[i, j]);
+    let ld_a = k.load(a_addr);
+    let at_addr = k.address(&[j, i]);
+    let ld_at = k.load(at_addr);
+
+    let ld_y1 = k.load_at(&[j]);
+    let t1 = k.mul(ld_a, ld_y1);
+    let x1 = k.accumulate(t1, 1);
+
+    // Second lane (partial inner unroll).
+    let ld_a2 = k.load_at(&[i, j]);
+    let ld_y1b = k.load_at(&[j]);
+    let t1b = k.mul(ld_a2, ld_y1b);
+    let x1b = k.accumulate(t1b, 1);
+    let x1sum = k.add(x1, x1b);
+    let st_x1 = k.store_at(&[i], x1sum);
+    let ld_x1 = k.load_at(&[i]);
+    k.loop_dep(st_x1, ld_x1, 1);
+
+    let ld_y2 = k.load_at(&[j]);
+    let t2 = k.mul(ld_at, ld_y2);
+    let x2 = k.accumulate(t2, 1);
+    let sum = k.add(ld_x1, x2);
+    let _st_x2 = k.store_at(&[i], sum);
+
+    let _gi = k.loop_guard(i);
+    let _gj = k.loop_guard(j);
+    k.build()
+}
+
+/// `gemver`: `A ← A + u1·v1ᵀ + u2·v2ᵀ`, then `x ← β·Aᵀ·y + z`, then
+/// `w ← α·A·x` — the suite's largest kernel.
+pub fn gemver() -> Dfg {
+    let mut k = KernelBuilder::new("gemver");
+    let i = k.induction();
+    let j = k.induction();
+
+    // A[i][j] += u1[i]*v1[j] + u2[i]*v2[j]
+    let ld_u1 = k.load_at(&[i]);
+    let ld_v1 = k.load_at(&[j]);
+    let ld_u2 = k.load_at(&[i]);
+    let ld_v2 = k.load_at(&[j]);
+    let p1 = k.mul(ld_u1, ld_v1);
+    let p2 = k.mul(ld_u2, ld_v2);
+    let outer = k.add(p1, p2);
+    let a_addr = k.address(&[i, j]);
+    let ld_a = k.load(a_addr);
+    let a_new = k.add(ld_a, outer);
+    let st_a = k.store(a_addr, a_new);
+    k.loop_dep(st_a, ld_a, 1);
+
+    // x[i] = beta * A^T[j][i] * y[j] + z[i]
+    let beta = k.konst();
+    let ld_y = k.load_at(&[j]);
+    let t = k.mul(a_new, ld_y);
+    let acc_x = k.accumulate(t, 1);
+    let bx = k.mul(beta, acc_x);
+    let ld_z = k.load_at(&[i]);
+    let x = k.add(bx, ld_z);
+    let st_x = k.store_at(&[i], x);
+
+    // w[i] = alpha * A[i][j] * x[j]
+    let alpha = k.konst();
+    let ld_x = k.load_at(&[j]);
+    k.loop_dep(st_x, ld_x, 1);
+    let t2 = k.mul(a_new, ld_x);
+    let acc_w = k.accumulate(t2, 1);
+    let w = k.mul(alpha, acc_w);
+    let _st_w = k.store_at(&[i], w);
+
+    let _gj = k.loop_guard(j);
+    k.build()
+}
+
+/// `gemm`: `C = α·A·B + β·C`.
+pub fn gemm() -> Dfg {
+    let mut k = KernelBuilder::new("gemm");
+    let i = k.induction();
+    let j = k.induction();
+    let p = k.induction();
+
+    // Two MAC lanes over the reduction dimension (partial inner unroll),
+    // the shape a vectorising front-end hands a CGRA mapper.
+    let a_addr = k.address(&[i, p]);
+    let ld_a = k.load(a_addr);
+    let b_addr = k.address(&[p, j]);
+    let ld_b = k.load(b_addr);
+    let t = k.mul(ld_a, ld_b);
+    let acc = k.accumulate(t, 1);
+
+    let ld_a2 = k.load_at(&[i, p]);
+    let ld_b2 = k.load_at(&[p, j]);
+    let t2 = k.mul(ld_a2, ld_b2);
+    let acc2 = k.accumulate(t2, 1);
+    let lanes = k.add(acc, acc2);
+
+    let alpha = k.konst();
+    let at = k.mul(alpha, lanes);
+    let c_addr = k.address(&[i, j]);
+    let ld_c = k.load(c_addr);
+    let beta = k.konst();
+    let bc = k.mul(beta, ld_c);
+    let c_new = k.add(at, bc);
+    let st_c = k.store(c_addr, c_new);
+    k.loop_dep(st_c, ld_c, 1);
+
+    let _gp = k.loop_guard(p);
+    let _gj = k.loop_guard(j);
+    k.build()
+}
+
+/// `syrk`: symmetric rank-k update `C = α·A·Aᵀ + β·C`.
+pub fn syrk() -> Dfg {
+    let mut k = KernelBuilder::new("syrk");
+    let i = k.induction();
+    let j = k.induction();
+    let p = k.induction();
+
+    let ld_a1 = k.load_at(&[i, p]);
+    let ld_a2 = k.load_at(&[j, p]);
+    let t = k.mul(ld_a1, ld_a2);
+    let alpha = k.konst();
+    let ta = k.mul(t, alpha);
+    let acc = k.accumulate(ta, 1);
+
+    // Second reduction lane (partial inner unroll).
+    let ld_a3 = k.load_at(&[i, p]);
+    let ld_a4 = k.load_at(&[j, p]);
+    let t2 = k.mul(ld_a3, ld_a4);
+    let ta2 = k.mul(t2, alpha);
+    let acc2 = k.accumulate(ta2, 1);
+    let lanes = k.add(acc, acc2);
+
+    let c_addr = k.address(&[i, j]);
+    let ld_c = k.load(c_addr);
+    let beta = k.konst();
+    let bc = k.mul(beta, ld_c);
+    let c_new = k.add(lanes, bc);
+    let st_c = k.store(c_addr, c_new);
+    k.loop_dep(st_c, ld_c, 1);
+
+    let _gp = k.loop_guard(p);
+    let _gj = k.loop_guard(j);
+    k.build()
+}
+
+/// `syr2k`: symmetric rank-2k update `C = α·A·Bᵀ + α·B·Aᵀ + β·C`.
+pub fn syr2k() -> Dfg {
+    let mut k = KernelBuilder::new("syr2k");
+    let i = k.induction();
+    let j = k.induction();
+    let p = k.induction();
+
+    let ld_a1 = k.load_at(&[i, p]);
+    let ld_b1 = k.load_at(&[j, p]);
+    let ld_b2 = k.load_at(&[i, p]);
+    let ld_a2 = k.load_at(&[j, p]);
+    let t1 = k.mul(ld_a1, ld_b1);
+    let t2 = k.mul(ld_b2, ld_a2);
+    let sum = k.add(t1, t2);
+    let alpha = k.konst();
+    let ts = k.mul(sum, alpha);
+    let acc = k.accumulate(ts, 1);
+
+    // Second rank-2 lane (partial inner unroll).
+    let ld_a5 = k.load_at(&[i, p]);
+    let ld_b5 = k.load_at(&[j, p]);
+    let t5 = k.mul(ld_a5, ld_b5);
+    let ts2 = k.mul(t5, alpha);
+    let acc5 = k.accumulate(ts2, 1);
+    let acc_all = k.add(acc, acc5);
+
+    let c_addr = k.address(&[i, j]);
+    let ld_c = k.load(c_addr);
+    let beta = k.konst();
+    let bc = k.mul(beta, ld_c);
+    let c_new = k.add(acc_all, bc);
+    let st_c = k.store(c_addr, c_new);
+    k.loop_dep(st_c, ld_c, 1);
+
+    let _gp = k.loop_guard(p);
+    let _gj = k.loop_guard(j);
+    k.build()
+}
+
+/// `trmm`: triangular matrix multiply `B = α·A·B` (lower-triangular `A`).
+pub fn trmm() -> Dfg {
+    let mut k = KernelBuilder::new("trmm");
+    let i = k.induction();
+    let j = k.induction();
+    let p = k.induction();
+
+    let ld_a = k.load_at(&[p, i]);
+    let b_addr = k.address(&[p, j]);
+    let ld_b = k.load(b_addr);
+    let t = k.mul(ld_a, ld_b);
+    let acc = k.accumulate(t, 1);
+
+    // Second triangular lane (partial inner unroll).
+    let ld_a2 = k.load_at(&[p, i]);
+    let ld_b2 = k.load_at(&[p, j]);
+    let t2 = k.mul(ld_a2, ld_b2);
+    let acc2 = k.accumulate(t2, 1);
+    let lanes0 = k.add(acc, acc2);
+
+    // Third triangular lane.
+    let ld_a3 = k.load_at(&[p, i]);
+    let ld_b3 = k.load_at(&[p, j]);
+    let t3 = k.mul(ld_a3, ld_b3);
+    let acc3 = k.accumulate(t3, 1);
+    let lanes = k.add(lanes0, acc3);
+
+    let bij_addr = k.address(&[i, j]);
+    let ld_bij = k.load(bij_addr);
+    let sum = k.add(ld_bij, lanes);
+    let alpha = k.konst();
+    let scaled = k.mul(alpha, sum);
+    let st_b = k.store(bij_addr, scaled);
+    k.loop_dep(st_b, ld_b, 2); // updated row feeds later iterations
+
+    let _gp = k.loop_guard(p);
+    let _gj = k.loop_guard(j);
+    k.build()
+}
+
+/// `doitgen`: multi-resolution analysis kernel
+/// `sum[p] += A[r][q][s] · C4[s][p]` with 3-D addressing.
+pub fn doitgen() -> Dfg {
+    let mut k = KernelBuilder::new("doitgen");
+    let r = k.induction();
+    let q = k.induction();
+    let s = k.induction();
+    let p = k.induction();
+
+    let a_addr = k.address(&[r, q, s]);
+    let ld_a = k.load(a_addr);
+    let c4_addr = k.address(&[s, p]);
+    let ld_c4 = k.load(c4_addr);
+    let t = k.mul(ld_a, ld_c4);
+    let acc = k.accumulate(t, 1);
+
+    // Second lane over `s` (partial inner unroll).
+    let a2_addr = k.address(&[r, q, s]);
+    let ld_a2 = k.load(a2_addr);
+    let c42_addr = k.address(&[s, p]);
+    let ld_c42 = k.load(c42_addr);
+    let t2 = k.mul(ld_a2, ld_c42);
+    let acc2 = k.accumulate(t2, 1);
+    let lanes0 = k.add(acc, acc2);
+
+    // Third lane over `s`.
+    let a3_addr = k.address(&[r, q, s]);
+    let ld_a3 = k.load(a3_addr);
+    let c43_addr = k.address(&[s, p]);
+    let ld_c43 = k.load(c43_addr);
+    let t3 = k.mul(ld_a3, ld_c43);
+    let acc3 = k.accumulate(t3, 1);
+    let lanes = k.add(lanes0, acc3);
+
+    let sum_addr = k.address(&[p]);
+    let st_sum = k.store(sum_addr, lanes);
+    let ld_sum = k.load(sum_addr);
+    k.loop_dep(st_sum, ld_sum, 1);
+    let a_out = k.address(&[r, q, p]);
+    let _st_a = k.store(a_out, ld_sum);
+
+    let _gs = k.loop_guard(s);
+    let _gp = k.loop_guard(p);
+    k.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gesummv_has_three_reductions() {
+        let g = gesummv();
+        let phis = g
+            .nodes()
+            .filter(|n| n.op() == rewire_arch::OpKind::Phi)
+            .count();
+        assert_eq!(phis, 3); // two A lanes + the B lane
+    }
+
+    #[test]
+    fn gemver_is_the_largest() {
+        let sizes: Vec<(String, usize)> = [
+            gesummv(),
+            atax(),
+            bicg(),
+            mvt(),
+            gemver(),
+            gemm(),
+            syrk(),
+            syr2k(),
+            trmm(),
+            doitgen(),
+        ]
+        .into_iter()
+        .map(|d| (d.name().to_string(), d.num_nodes()))
+        .collect();
+        let max = sizes.iter().max_by_key(|(_, n)| *n).unwrap();
+        assert_eq!(max.0, "gemver");
+    }
+
+    #[test]
+    fn memory_carried_dependencies_present() {
+        for g in [atax(), bicg(), gemm(), trmm()] {
+            assert!(
+                g.edges()
+                    .any(|e| e.is_loop_carried()
+                        && g.node(e.src()).op() == rewire_arch::OpKind::Store),
+                "{} needs a store→load carried dependency",
+                g.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! MachSuite-style accelerator kernels.
+
+use super::KernelBuilder;
+use crate::Dfg;
+use rewire_arch::OpKind;
+
+/// `md-knn`: molecular-dynamics pairwise Lennard-Jones force over a
+/// k-nearest-neighbour list — the suite's widest kernel (three parallel
+/// force accumulations).
+pub fn md_knn() -> Dfg {
+    let mut k = KernelBuilder::new("md-knn");
+    let i = k.induction();
+    let jj = k.induction();
+
+    // Gather the neighbour's coordinates through the index list.
+    let ld_nbr = k.load_at(&[i, jj]);
+    let xi = k.load_at(&[i]);
+    let yi = k.load_at(&[i]);
+    let zi = k.load_at(&[i]);
+    let xj = k.load_at(&[ld_nbr]);
+    let yj = k.load_at(&[ld_nbr]);
+    let zj = k.load_at(&[ld_nbr]);
+
+    let dx = k.sub(xi, xj);
+    let dy = k.sub(yi, yj);
+    let dz = k.sub(zi, zj);
+    let dx2 = k.mul(dx, dx);
+    let dy2 = k.mul(dy, dy);
+    let dz2 = k.mul(dz, dz);
+    let r2a = k.add(dx2, dy2);
+    let r2 = k.add(r2a, dz2);
+
+    // LJ potential: r6inv·(r6inv − 0.5) / r2 style force magnitude.
+    let one = k.konst();
+    let r2inv = k.div(one, r2);
+    let r4inv = k.mul(r2inv, r2inv);
+    let r6inv = k.mul(r4inv, r2inv);
+    let half = k.konst();
+    let shifted = k.sub(r6inv, half);
+    let pot = k.mul(r6inv, shifted);
+
+    let fx = k.mul(pot, dx);
+    let fy = k.mul(pot, dy);
+    let fz = k.mul(pot, dz);
+    let ax = k.accumulate(fx, 1);
+    let ay = k.accumulate(fy, 1);
+    let az = k.accumulate(fz, 1);
+    let _sx = k.store_at(&[i], ax);
+    let _sy = k.store_at(&[i], ay);
+    let _sz = k.store_at(&[i], az);
+
+    let _g = k.loop_guard(jj);
+    k.build()
+}
+
+/// `spmv`: sparse matrix–vector multiply over CRS storage, two
+/// non-zeros per iteration.
+pub fn spmv() -> Dfg {
+    let mut k = KernelBuilder::new("spmv");
+    let i = k.induction();
+    let jj = k.induction();
+
+    let row_end = k.load_at(&[i]);
+    let in_row = k.binary(OpKind::Cmp, jj, row_end);
+
+    // Lane 1: val[jj] * x[col[jj]].
+    let ld_val = k.load_at(&[jj]);
+    let ld_col = k.load_at(&[jj]);
+    let ld_x = k.load_at(&[ld_col]);
+    let t = k.mul(ld_val, ld_x);
+    let acc = k.accumulate(t, 1);
+
+    // Lane 2 (next non-zero).
+    let ld_val2 = k.load_at(&[jj]);
+    let ld_col2 = k.load_at(&[jj]);
+    let ld_x2 = k.load_at(&[ld_col2]);
+    let t2 = k.mul(ld_val2, ld_x2);
+    let acc2 = k.accumulate(t2, 1);
+
+    // Lane 3.
+    let ld_val3 = k.load_at(&[jj]);
+    let ld_col3 = k.load_at(&[jj]);
+    let ld_x3 = k.load_at(&[ld_col3]);
+    let t3 = k.mul(ld_val3, ld_x3);
+    let acc3 = k.accumulate(t3, 1);
+
+    let sum0 = k.add(acc, acc2);
+    let sum = k.add(sum0, acc3);
+    let gated = k.binary(OpKind::Select, in_row, sum);
+    let _st = k.store_at(&[i], gated);
+
+    let _g = k.loop_guard(i);
+    k.build()
+}
+
+/// `fft`: one radix-2 butterfly — complex twiddle multiply and the
+/// add/sub recombination, with stage-to-stage memory carry.
+pub fn fft() -> Dfg {
+    let mut k = KernelBuilder::new("fft");
+    let idx = k.induction();
+    let span = k.induction();
+
+    let er = k.load_at(&[idx]);
+    let ei = k.load_at(&[idx]);
+    let or_ = k.load_at(&[idx, span]);
+    let oi = k.load_at(&[idx, span]);
+    let wr = k.load_at(&[idx]);
+    let wi = k.load_at(&[idx]);
+
+    // (or + i·oi)·(wr + i·wi)
+    let m1 = k.mul(or_, wr);
+    let m2 = k.mul(oi, wi);
+    let tr = k.sub(m1, m2);
+    let m3 = k.mul(or_, wi);
+    let m4 = k.mul(oi, wr);
+    let ti = k.add(m3, m4);
+
+    let out_er = k.add(er, tr);
+    let out_ei = k.add(ei, ti);
+    let out_or = k.sub(er, tr);
+    let out_oi = k.sub(ei, ti);
+
+    let st_er = k.store_at(&[idx], out_er);
+    let _st_ei = k.store_at(&[idx], out_ei);
+    let st_or = k.store_at(&[idx, span], out_or);
+    let _st_oi = k.store_at(&[idx, span], out_oi);
+
+    // The next FFT stage reads what this one wrote.
+    k.loop_dep(st_er, er, 2);
+    k.loop_dep(st_or, or_, 2);
+
+    let _g = k.loop_guard(idx);
+    k.build()
+}
+
+/// `viterbi`: one trellis step — best-predecessor selection with
+/// backpointer store.
+pub fn viterbi() -> Dfg {
+    let mut k = KernelBuilder::new("viterbi");
+    let t = k.induction();
+    let s = k.induction();
+
+    let p0 = k.load_at(&[s]);
+    let p1 = k.load_at(&[s]);
+    let t0 = k.load_at(&[s]);
+    let t1 = k.load_at(&[s]);
+    let em = k.load_at(&[t, s]);
+
+    let c0 = k.add(p0, t0);
+    let c1 = k.add(p1, t1);
+    let better = k.binary(OpKind::Cmp, c0, c1);
+    let best01 = k.binary(OpKind::Select, better, c0);
+
+    // Third predecessor state.
+    let p2 = k.load_at(&[s]);
+    let t2c = k.load_at(&[s]);
+    let c2 = k.add(p2, t2c);
+    let better2 = k.binary(OpKind::Cmp, best01, c2);
+    let best = k.binary(OpKind::Select, better2, best01);
+    let tot = k.add(best, em);
+    let st = k.store_at(&[s], tot);
+    k.loop_dep(st, p0, 2);
+    k.loop_dep(st, p1, 2);
+    k.loop_dep(st, p2, 2);
+
+    let tag = k.konst();
+    let bp = k.binary(OpKind::Select, better, tag);
+    let _st_bp = k.store_at(&[t, s], bp);
+
+    let _gs = k.loop_guard(s);
+    let _gt = k.loop_guard(t);
+    k.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md_knn_has_three_accumulators() {
+        let g = md_knn();
+        let phis = g.nodes().filter(|n| n.op() == OpKind::Phi).count();
+        assert_eq!(phis, 3);
+    }
+
+    #[test]
+    fn spmv_gathers_through_index_loads() {
+        // x is indexed by a loaded column index: a load whose address input
+        // is itself fed by another load.
+        let g = spmv();
+        let indirect = g.nodes().any(|n| {
+            n.op() == OpKind::Addr && g.parents(n.id()).any(|p| g.node(p).op() == OpKind::Load)
+        });
+        assert!(indirect);
+    }
+
+    #[test]
+    fn fft_butterfly_balance() {
+        let g = fft();
+        let count = |op: OpKind| g.nodes().filter(|n| n.op() == op).count();
+        assert_eq!(count(OpKind::Mul), 4);
+        assert_eq!(count(OpKind::Store), 4);
+        assert_eq!(count(OpKind::Load), 6);
+    }
+
+    #[test]
+    fn viterbi_trellis_is_recurrence_bound() {
+        assert!(viterbi().rec_mii() >= 2);
+    }
+}

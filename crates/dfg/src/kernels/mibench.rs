@@ -1,0 +1,168 @@
+//! MiBench-style embedded kernels.
+
+use super::KernelBuilder;
+use crate::Dfg;
+use rewire_arch::OpKind;
+
+/// `fir`: finite impulse response filter, two taps per iteration plus the
+/// delay-line shift.
+pub fn fir() -> Dfg {
+    let mut k = KernelBuilder::new("fir");
+    let n = k.induction();
+    let kk = k.induction();
+
+    let c1 = k.load_at(&[kk]);
+    let x1 = k.load_at(&[n, kk]);
+    let t1 = k.mul(c1, x1);
+    let acc1 = k.accumulate(t1, 1);
+
+    let c2 = k.load_at(&[kk]);
+    let x2 = k.load_at(&[n, kk]);
+    let t2 = k.mul(c2, x2);
+    let acc2 = k.accumulate(t2, 1);
+
+    let c3 = k.load_at(&[kk]);
+    let x3 = k.load_at(&[n, kk]);
+    let t3 = k.mul(c3, x3);
+    let acc3 = k.accumulate(t3, 1);
+
+    let sum0 = k.add(acc1, acc2);
+    let sum = k.add(sum0, acc3);
+    let _st_y = k.store_at(&[n], sum);
+
+    // Delay-line shift: x[k+1] = x[k].
+    let ld_d = k.load_at(&[kk]);
+    let st_d = k.store_at(&[kk], ld_d);
+    k.loop_dep(st_d, x1, 1);
+
+    let _gk = k.loop_guard(kk);
+    let _gn = k.loop_guard(n);
+    k.build()
+}
+
+/// `susan`: SUSAN corner/edge response — absolute brightness differences
+/// against the nucleus, thresholded and counted (USAN area).
+pub fn susan() -> Dfg {
+    let mut k = KernelBuilder::new("susan");
+    let x = k.induction();
+    let y = k.induction();
+
+    let centre = k.load_at(&[x, y]);
+    let n1 = k.load_at(&[x, y]);
+    let n2 = k.load_at(&[x, y]);
+    let n3 = k.load_at(&[x, y]);
+    let n4 = k.load_at(&[x, y]);
+
+    let d1 = k.sub(n1, centre);
+    let d2 = k.sub(n2, centre);
+    let d3 = k.sub(n3, centre);
+    let d4 = k.sub(n4, centre);
+
+    // |d| via sign-mask AND (the integer abs idiom).
+    let mask = k.konst();
+    let a1 = k.binary(OpKind::And, d1, mask);
+    let a2 = k.binary(OpKind::And, d2, mask);
+    let a3 = k.binary(OpKind::And, d3, mask);
+    let a4 = k.binary(OpKind::And, d4, mask);
+
+    let thresh = k.konst();
+    let c1 = k.binary(OpKind::Cmp, a1, thresh);
+    let c2 = k.binary(OpKind::Cmp, a2, thresh);
+    let c3 = k.binary(OpKind::Cmp, a3, thresh);
+    let c4 = k.binary(OpKind::Cmp, a4, thresh);
+
+    let s1 = k.add(c1, c2);
+    let s2 = k.add(s1, c3);
+    let s3 = k.add(s2, c4);
+    let usan = k.accumulate(s3, 1);
+    let _st = k.store_at(&[x, y], usan);
+
+    let _gx = k.loop_guard(x);
+    let _gy = k.loop_guard(y);
+    k.build()
+}
+
+/// `sha`: one SHA-1 round — choice function, two rotations and the
+/// five-way working-variable shift.
+pub fn sha() -> Dfg {
+    let mut k = KernelBuilder::new("sha");
+    let t = k.induction();
+
+    let a = k.load_at(&[t]);
+    let b = k.load_at(&[t]);
+    let c = k.load_at(&[t]);
+    let d = k.load_at(&[t]);
+    let e = k.load_at(&[t]);
+
+    // rotl(a, 5)
+    let five = k.konst();
+    let lo = k.binary(OpKind::Shl, a, five);
+    let twenty7 = k.konst();
+    let hi = k.binary(OpKind::Shr, a, twenty7);
+    let rot_a = k.binary(OpKind::Or, lo, hi);
+
+    // ch(b, c, d) = (b & c) | (~b & d)
+    let bc = k.binary(OpKind::And, b, c);
+    let ones = k.konst();
+    let nb = k.binary(OpKind::Xor, b, ones);
+    let nbd = k.binary(OpKind::And, nb, d);
+    let ch = k.binary(OpKind::Or, bc, nbd);
+
+    // temp = rotl(a,5) + ch + e + w[t] + K
+    let ld_w = k.load_at(&[t]);
+    let kconst = k.konst();
+    let s1 = k.add(rot_a, ch);
+    let s2 = k.add(s1, e);
+    let s3 = k.add(s2, ld_w);
+    let temp = k.add(s3, kconst);
+
+    // rotl(b, 30)
+    let thirty = k.konst();
+    let lo2 = k.binary(OpKind::Shl, b, thirty);
+    let two = k.konst();
+    let hi2 = k.binary(OpKind::Shr, b, two);
+    let rot_b = k.binary(OpKind::Or, lo2, hi2);
+
+    let st_a = k.store_at(&[t], temp);
+    let st_c = k.store_at(&[t], rot_b);
+    k.loop_dep(st_a, a, 2); // next round's working variables
+    k.loop_dep(st_c, c, 2);
+
+    let _g = k.loop_guard(t);
+    k.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha_is_bitwise_heavy() {
+        let g = sha();
+        let bitwise = g
+            .nodes()
+            .filter(|n| {
+                matches!(
+                    n.op(),
+                    OpKind::And | OpKind::Or | OpKind::Xor | OpKind::Shl | OpKind::Shr
+                )
+            })
+            .count();
+        assert!(bitwise >= 9, "got {bitwise}");
+    }
+
+    #[test]
+    fn susan_counts_four_neighbours() {
+        let g = susan();
+        let cmps = g.nodes().filter(|n| n.op() == OpKind::Cmp).count();
+        // 4 threshold compares + 2 loop guards
+        assert_eq!(cmps, 6);
+    }
+
+    #[test]
+    fn fir_has_three_mac_lanes() {
+        let g = fir();
+        let muls = g.nodes().filter(|n| n.op() == OpKind::Mul).count();
+        assert_eq!(muls, 3);
+    }
+}

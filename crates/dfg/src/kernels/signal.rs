@@ -1,0 +1,267 @@
+//! Signal/image-processing kernels (MiBench/MachSuite-adjacent): dense
+//! convolution, gradient filters, transforms and clustering inner loops.
+
+use super::KernelBuilder;
+use crate::Dfg;
+use rewire_arch::OpKind;
+
+/// `conv2d`: 3×3 convolution — nine MACs against a coefficient window.
+pub fn conv2d() -> Dfg {
+    let mut k = KernelBuilder::new("conv2d");
+    let x = k.induction();
+    let y = k.induction();
+
+    let mut sum = None;
+    for _tap in 0..3 {
+        // Three row-lanes of three taps each, summed pairwise: realistic
+        // strength reduction of the 9-point window.
+        let px_a = k.load_at(&[x, y]);
+        let w_a = k.konst();
+        let m_a = k.mul(px_a, w_a);
+        let px_b = k.load_at(&[x, y]);
+        let w_b = k.konst();
+        let m_b = k.mul(px_b, w_b);
+        let lane = k.add(m_a, m_b);
+        sum = Some(match sum {
+            None => lane,
+            Some(s) => k.add(s, lane),
+        });
+    }
+    let total = sum.expect("three lanes");
+    let shift = k.konst();
+    let scaled = k.binary(OpKind::Shr, total, shift);
+    let _st = k.store_at(&[x, y], scaled);
+
+    let _gx = k.loop_guard(x);
+    let _gy = k.loop_guard(y);
+    k.build()
+}
+
+/// `sobel`: gradient magnitude — horizontal and vertical 3-tap gradients
+/// combined with |gx| + |gy|.
+pub fn sobel() -> Dfg {
+    let mut k = KernelBuilder::new("sobel");
+    let x = k.induction();
+    let y = k.induction();
+
+    // Horizontal gradient from two boundary columns.
+    let l1 = k.load_at(&[x, y]);
+    let l2 = k.load_at(&[x, y]);
+    let r1 = k.load_at(&[x, y]);
+    let r2 = k.load_at(&[x, y]);
+    let left = k.add(l1, l2);
+    let right = k.add(r1, r2);
+    let gx = k.sub(right, left);
+
+    // Vertical gradient from two boundary rows.
+    let t1 = k.load_at(&[x, y]);
+    let b1 = k.load_at(&[x, y]);
+    let gy = k.sub(b1, t1);
+
+    // |gx| + |gy| via sign-mask ANDs.
+    let mask = k.konst();
+    let ax = k.binary(OpKind::And, gx, mask);
+    let ay = k.binary(OpKind::And, gy, mask);
+    let mag = k.add(ax, ay);
+
+    let thresh = k.konst();
+    let is_edge = k.binary(OpKind::Cmp, thresh, mag);
+    let sel = k.binary(OpKind::Select, is_edge, mag);
+    let _st = k.store_at(&[x, y], sel);
+
+    let _gx = k.loop_guard(x);
+    let _gy = k.loop_guard(y);
+    k.build()
+}
+
+/// `dct8`: one butterfly stage of an 8-point DCT — paired adds/subs with
+/// coefficient multiplies, written back for the next stage.
+pub fn dct8() -> Dfg {
+    let mut k = KernelBuilder::new("dct8");
+    let i = k.induction();
+
+    let a0 = k.load_at(&[i]);
+    let a1 = k.load_at(&[i]);
+    let a2 = k.load_at(&[i]);
+    let a3 = k.load_at(&[i]);
+
+    let s0 = k.add(a0, a3);
+    let d0 = k.sub(a0, a3);
+    let s1 = k.add(a1, a2);
+    let d1 = k.sub(a1, a2);
+
+    let c0 = k.konst();
+    let c1 = k.konst();
+    let e0 = k.add(s0, s1);
+    let e1 = k.sub(s0, s1);
+    let o0m = k.mul(d0, c0);
+    let o1m = k.mul(d1, c1);
+    let o0 = k.add(o0m, o1m);
+    let o1 = k.sub(o0m, o1m);
+
+    let st0 = k.store_at(&[i], e0);
+    let _st1 = k.store_at(&[i], e1);
+    let _st2 = k.store_at(&[i], o0);
+    let _st3 = k.store_at(&[i], o1);
+    k.loop_dep(st0, a0, 2); // next stage reads this stage's output
+
+    let _g = k.loop_guard(i);
+    k.build()
+}
+
+/// `histogram`: binned counting with an indirect update —
+/// `hist[bin(x)] += 1`, two samples per iteration.
+pub fn histogram() -> Dfg {
+    let mut k = KernelBuilder::new("histogram");
+    let i = k.induction();
+
+    let x1 = k.load_at(&[i]);
+    let shift = k.konst();
+    let bin1 = k.binary(OpKind::Shr, x1, shift);
+    let h1 = k.load_at(&[bin1]);
+    let one = k.konst();
+    let inc1 = k.add(h1, one);
+    let st1 = k.store_at(&[bin1], inc1);
+    k.loop_dep(st1, h1, 1); // read-modify-write carried dependency
+
+    let x2 = k.load_at(&[i]);
+    let bin2 = k.binary(OpKind::Shr, x2, shift);
+    let h2 = k.load_at(&[bin2]);
+    let inc2 = k.add(h2, one);
+    let st2 = k.store_at(&[bin2], inc2);
+    k.loop_dep(st2, h2, 1);
+    k.loop_dep(st1, h2, 1); // the two updates may alias
+
+    // Third sample, with bin clamping (min(bin, MAX_BIN) via cmp/select).
+    let x3 = k.load_at(&[i]);
+    let bin3 = k.binary(OpKind::Shr, x3, shift);
+    let max_bin = k.konst();
+    let over = k.binary(OpKind::Cmp, max_bin, bin3);
+    let clamped = k.binary(OpKind::Select, over, max_bin);
+    let h3 = k.load_at(&[clamped]);
+    let inc3 = k.add(h3, one);
+    let st3 = k.store_at(&[clamped], inc3);
+    k.loop_dep(st3, h3, 1);
+
+    let _g = k.loop_guard(i);
+    k.build()
+}
+
+/// `kmeans`: nearest-centroid assignment — two squared distances compared,
+/// best index selected and written back.
+pub fn kmeans() -> Dfg {
+    let mut k = KernelBuilder::new("kmeans");
+    let i = k.induction();
+    let c = k.induction();
+
+    let px = k.load_at(&[i]);
+    let py = k.load_at(&[i]);
+
+    let cx0 = k.load_at(&[c]);
+    let cy0 = k.load_at(&[c]);
+    let dx0 = k.sub(px, cx0);
+    let dy0 = k.sub(py, cy0);
+    let dx0s = k.mul(dx0, dx0);
+    let dy0s = k.mul(dy0, dy0);
+    let d0 = k.add(dx0s, dy0s);
+
+    let cx1 = k.load_at(&[c]);
+    let cy1 = k.load_at(&[c]);
+    let dx1 = k.sub(px, cx1);
+    let dy1 = k.sub(py, cy1);
+    let dx1s = k.mul(dx1, dx1);
+    let dy1s = k.mul(dy1, dy1);
+    let d1 = k.add(dx1s, dy1s);
+
+    let closer = k.binary(OpKind::Cmp, d0, d1);
+    let best = k.binary(OpKind::Select, closer, d0);
+    let _st_d = k.store_at(&[i], best);
+    let tag = k.konst();
+    let label = k.binary(OpKind::Select, closer, tag);
+    let _st_l = k.store_at(&[i], label);
+
+    let _g = k.loop_guard(c);
+    k.build()
+}
+
+/// `backprop`: one dense-layer gradient step —
+/// `w += η · δ · x` with the error accumulation for the previous layer.
+pub fn backprop() -> Dfg {
+    let mut k = KernelBuilder::new("backprop");
+    let i = k.induction();
+    let j = k.induction();
+
+    let delta = k.load_at(&[j]);
+    let x = k.load_at(&[i]);
+    let eta = k.konst();
+    let grad0 = k.mul(delta, x);
+    let grad = k.mul(grad0, eta);
+
+    // Momentum: v = μ·v_prev + grad, carried across iterations.
+    let mu = k.konst();
+    let v_prev = k.node(rewire_arch::OpKind::Phi);
+    let mv = k.mul(mu, v_prev);
+    let v = k.add(mv, grad);
+    k.loop_dep(v, v_prev, 1);
+
+    let w_addr = k.address(&[i, j]);
+    let w = k.load(w_addr);
+    let w_new = k.add(w, v);
+    let st_w = k.store(w_addr, w_new);
+    k.loop_dep(st_w, w, 1);
+
+    // Error for the previous layer: err[i] += w · delta.
+    let contrib = k.mul(w_new, delta);
+    let err = k.accumulate(contrib, 1);
+    let st_e = k.store_at(&[i], err);
+    let ld_e = k.load_at(&[i]);
+    k.loop_dep(st_e, ld_e, 1);
+    let e2 = k.add(err, ld_e);
+    let _st_e2 = k.store_at(&[i], e2);
+
+    let _gj = k.loop_guard(j);
+    k.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv2d_has_six_taps() {
+        let g = conv2d();
+        let muls = g.nodes().filter(|n| n.op() == OpKind::Mul).count();
+        assert_eq!(muls, 6);
+    }
+
+    #[test]
+    fn histogram_has_aliasing_carried_dependencies() {
+        let g = histogram();
+        let carried_store_loads = g
+            .edges()
+            .filter(|e| e.is_loop_carried() && g.node(e.src()).op() == OpKind::Store)
+            .count();
+        assert!(carried_store_loads >= 3);
+    }
+
+    #[test]
+    fn kmeans_is_pure_dataflow() {
+        // No loop-carried edges beyond the induction self-loops: fully
+        // pipelineable, RecMII 1.
+        assert_eq!(kmeans().rec_mii(), 1);
+    }
+
+    #[test]
+    fn all_signal_kernels_fit_the_band() {
+        for g in [conv2d(), sobel(), dct8(), histogram(), kmeans(), backprop()] {
+            assert!(
+                (26..=51).contains(&g.num_nodes()),
+                "{}: {} nodes",
+                g.name(),
+                g.num_nodes()
+            );
+            assert!(g.validate().is_ok());
+            assert!(g.is_connected());
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! A minimal plain-text DFG interchange format.
+//!
+//! ```text
+//! dfg gesummv
+//! node ld_a ld
+//! node mul0 mul
+//! edge ld_a mul0
+//! edge mul0 ld_a 1   # loop-carried, distance 1
+//! ```
+//!
+//! Lines starting with `#` and blank lines are ignored; a trailing
+//! `# comment` on any line is stripped.
+
+use crate::{Dfg, GraphError, NodeId};
+use rewire_arch::OpKind;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`Dfg::from_text`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ParseDfgError {
+    /// The first significant line was not `dfg <name>`.
+    MissingHeader,
+    /// A line did not match `node …` / `edge …`.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// An unknown operation mnemonic.
+    UnknownOp {
+        /// 1-based line number.
+        line: usize,
+        /// The mnemonic that failed to parse.
+        op: String,
+    },
+    /// An edge referenced a node name that was never declared.
+    UnknownNode {
+        /// 1-based line number.
+        line: usize,
+        /// The unknown name.
+        name: String,
+    },
+    /// A node name was declared twice.
+    DuplicateNode {
+        /// 1-based line number.
+        line: usize,
+        /// The duplicated name.
+        name: String,
+    },
+    /// The distance field was not a non-negative integer.
+    BadDistance {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The resulting graph violated a structural invariant.
+    Graph(GraphError),
+}
+
+impl fmt::Display for ParseDfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDfgError::MissingHeader => f.write_str("expected `dfg <name>` header"),
+            ParseDfgError::BadLine { line } => write!(f, "line {line}: unrecognised directive"),
+            ParseDfgError::UnknownOp { line, op } => {
+                write!(f, "line {line}: unknown operation `{op}`")
+            }
+            ParseDfgError::UnknownNode { line, name } => {
+                write!(f, "line {line}: unknown node `{name}`")
+            }
+            ParseDfgError::DuplicateNode { line, name } => {
+                write!(f, "line {line}: duplicate node `{name}`")
+            }
+            ParseDfgError::BadDistance { line } => {
+                write!(f, "line {line}: distance must be a non-negative integer")
+            }
+            ParseDfgError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl Error for ParseDfgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseDfgError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ParseDfgError {
+    fn from(e: GraphError) -> Self {
+        ParseDfgError::Graph(e)
+    }
+}
+
+fn op_from_mnemonic(s: &str) -> Option<OpKind> {
+    OpKind::ALL.into_iter().find(|op| op.mnemonic() == s)
+}
+
+impl Dfg {
+    /// Serialises the DFG to the plain-text format, parsable by
+    /// [`Dfg::from_text`].
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "dfg {}", self.name());
+        for n in self.nodes() {
+            let _ = writeln!(out, "node {} {}", n.name(), n.op());
+        }
+        for e in self.edges() {
+            let src = self.node(e.src()).name();
+            let dst = self.node(e.dst()).name();
+            if e.distance() == 0 {
+                let _ = writeln!(out, "edge {src} {dst}");
+            } else {
+                let _ = writeln!(out, "edge {src} {dst} {}", e.distance());
+            }
+        }
+        out
+    }
+
+    /// Parses a DFG from the plain-text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDfgError`] describing the first offending line, or a
+    /// wrapped [`GraphError`] if the parsed graph is structurally invalid
+    /// (e.g. an intra-iteration cycle).
+    pub fn from_text(input: &str) -> Result<Dfg, ParseDfgError> {
+        let mut dfg: Option<Dfg> = None;
+        let mut names: HashMap<String, NodeId> = HashMap::new();
+        for (idx, raw) in input.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let directive = parts.next().expect("non-empty line has a token");
+            match (directive, &mut dfg) {
+                ("dfg", None) => {
+                    let name = parts.next().ok_or(ParseDfgError::MissingHeader)?;
+                    dfg = Some(Dfg::new(name));
+                }
+                ("dfg", Some(_)) => return Err(ParseDfgError::BadLine { line: line_no }),
+                (_, None) => return Err(ParseDfgError::MissingHeader),
+                ("node", Some(g)) => {
+                    let (name, op) = match (parts.next(), parts.next()) {
+                        (Some(n), Some(o)) => (n, o),
+                        _ => return Err(ParseDfgError::BadLine { line: line_no }),
+                    };
+                    let op = op_from_mnemonic(op).ok_or_else(|| ParseDfgError::UnknownOp {
+                        line: line_no,
+                        op: op.to_string(),
+                    })?;
+                    if names.contains_key(name) {
+                        return Err(ParseDfgError::DuplicateNode {
+                            line: line_no,
+                            name: name.to_string(),
+                        });
+                    }
+                    let id = g.add_node(name, op);
+                    names.insert(name.to_string(), id);
+                }
+                ("edge", Some(g)) => {
+                    let (src, dst) = match (parts.next(), parts.next()) {
+                        (Some(s), Some(d)) => (s, d),
+                        _ => return Err(ParseDfgError::BadLine { line: line_no }),
+                    };
+                    let distance = match parts.next() {
+                        None => 0,
+                        Some(d) => d
+                            .parse::<u32>()
+                            .map_err(|_| ParseDfgError::BadDistance { line: line_no })?,
+                    };
+                    let lookup = |name: &str| {
+                        names
+                            .get(name)
+                            .copied()
+                            .ok_or_else(|| ParseDfgError::UnknownNode {
+                                line: line_no,
+                                name: name.to_string(),
+                            })
+                    };
+                    let (s, d) = (lookup(src)?, lookup(dst)?);
+                    g.add_edge(s, d, distance)?;
+                }
+                _ => return Err(ParseDfgError::BadLine { line: line_no }),
+            }
+        }
+        let dfg = dfg.ok_or(ParseDfgError::MissingHeader)?;
+        dfg.validate()?;
+        Ok(dfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+
+    #[test]
+    fn round_trip_all_kernels() {
+        for (name, dfg) in kernels::all() {
+            let text = dfg.to_text();
+            let parsed = Dfg::from_text(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(parsed.num_nodes(), dfg.num_nodes(), "{name}");
+            assert_eq!(parsed.num_edges(), dfg.num_edges(), "{name}");
+            assert_eq!(parsed.name(), dfg.name(), "{name}");
+            for (a, b) in parsed.edges().zip(dfg.edges()) {
+                assert_eq!(
+                    (a.src(), a.dst(), a.distance()),
+                    (b.src(), b.dst(), b.distance())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header comment\n\ndfg t\nnode a ld # the load\nnode b add\nedge a b\n";
+        let g = Dfg::from_text(text).unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn missing_header() {
+        assert_eq!(
+            Dfg::from_text("node a add").unwrap_err(),
+            ParseDfgError::MissingHeader
+        );
+        assert_eq!(
+            Dfg::from_text("").unwrap_err(),
+            ParseDfgError::MissingHeader
+        );
+    }
+
+    #[test]
+    fn unknown_op() {
+        let err = Dfg::from_text("dfg t\nnode a frobnicate").unwrap_err();
+        assert!(matches!(err, ParseDfgError::UnknownOp { line: 2, .. }));
+    }
+
+    #[test]
+    fn unknown_node_in_edge() {
+        let err = Dfg::from_text("dfg t\nnode a add\nedge a ghost").unwrap_err();
+        assert!(matches!(err, ParseDfgError::UnknownNode { line: 3, .. }));
+    }
+
+    #[test]
+    fn duplicate_node() {
+        let err = Dfg::from_text("dfg t\nnode a add\nnode a mul").unwrap_err();
+        assert!(matches!(err, ParseDfgError::DuplicateNode { line: 3, .. }));
+    }
+
+    #[test]
+    fn bad_distance() {
+        let err = Dfg::from_text("dfg t\nnode a add\nnode b add\nedge a b minusone").unwrap_err();
+        assert!(matches!(err, ParseDfgError::BadDistance { line: 4 }));
+    }
+
+    #[test]
+    fn intra_cycle_rejected_at_parse() {
+        let err = Dfg::from_text("dfg t\nnode a add\nnode b add\nedge a b\nedge b a").unwrap_err();
+        assert_eq!(err, ParseDfgError::Graph(GraphError::IntraIterationCycle));
+    }
+}

@@ -1,0 +1,143 @@
+//! Loop transforms on DFGs.
+
+use crate::{Dfg, NodeId};
+
+impl Dfg {
+    /// Unrolls the loop body `factor` times, following the paper's stress
+    /// setup ("unrolled versions (unroll factor of 2) ... specially on 8×8
+    /// CGRA").
+    ///
+    /// Nodes are replicated once per unrolled copy. An edge of the original
+    /// kernel with iteration distance `d` from copy `c` lands in copy
+    /// `(c + d) mod factor` with new distance `(c + d) / factor`; intra
+    /// edges stay within their copy.
+    ///
+    /// The result is named `"<name>(u)"` for factor 2 (the paper's notation)
+    /// and `"<name>(u<factor>)"` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rewire_dfg::kernels;
+    /// let bicg = kernels::bicg();
+    /// let unrolled = bicg.unroll(2);
+    /// assert_eq!(unrolled.num_nodes(), 2 * bicg.num_nodes());
+    /// assert_eq!(unrolled.name(), "bicg(u)");
+    /// ```
+    pub fn unroll(&self, factor: u32) -> Dfg {
+        assert!(factor > 0, "unroll factor must be positive");
+        let suffix = if factor == 2 {
+            "(u)".to_string()
+        } else {
+            format!("(u{factor})")
+        };
+        let mut out = Dfg::new(format!("{}{suffix}", self.name()));
+        // copies[c][i] = id of node i in copy c.
+        let mut copies: Vec<Vec<NodeId>> = Vec::with_capacity(factor as usize);
+        for c in 0..factor {
+            let mut ids = Vec::with_capacity(self.num_nodes());
+            for node in self.nodes() {
+                let name = if factor == 1 {
+                    node.name().to_string()
+                } else {
+                    format!("{}_u{c}", node.name())
+                };
+                ids.push(out.add_node(name, node.op()));
+            }
+            copies.push(ids);
+        }
+        for e in self.edges() {
+            for c in 0..factor {
+                let src = copies[c as usize][e.src().index()];
+                let target = c + e.distance();
+                let dst_copy = (target % factor) as usize;
+                let new_distance = target / factor;
+                let dst = copies[dst_copy][e.dst().index()];
+                out.add_edge(src, dst, new_distance)
+                    .expect("replicated endpoints exist");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rewire_arch::OpKind;
+
+    fn acc() -> Dfg {
+        let mut g = Dfg::new("acc");
+        let phi = g.add_node("phi", OpKind::Phi);
+        let ld = g.add_node("ld", OpKind::Load);
+        let add = g.add_node("add", OpKind::Add);
+        g.add_edge(phi, add, 0).unwrap();
+        g.add_edge(ld, add, 0).unwrap();
+        g.add_edge(add, phi, 1).unwrap();
+        g
+    }
+
+    #[test]
+    fn unroll_by_one_is_identity_shape() {
+        let g = acc();
+        let u = g.unroll(1);
+        assert_eq!(u.num_nodes(), g.num_nodes());
+        assert_eq!(u.num_edges(), g.num_edges());
+        assert_eq!(u.name(), "acc(u1)");
+    }
+
+    #[test]
+    fn unroll_doubles_nodes_and_edges() {
+        let g = acc();
+        let u = g.unroll(2);
+        assert_eq!(u.num_nodes(), 6);
+        assert_eq!(u.num_edges(), 6);
+        assert!(u.validate().is_ok());
+    }
+
+    #[test]
+    fn unrolled_recurrence_crosses_copies() {
+        let g = acc();
+        let u = g.unroll(2);
+        // Copy 0's add feeds copy 1's phi intra-iteration; copy 1's add
+        // feeds copy 0's phi with distance 1.
+        let add0 = u.node_by_name("add_u0").unwrap().id();
+        let phi1 = u.node_by_name("phi_u1").unwrap().id();
+        assert!(u
+            .out_edges(add0)
+            .any(|e| e.dst() == phi1 && e.distance() == 0));
+        let add1 = u.node_by_name("add_u1").unwrap().id();
+        let phi0 = u.node_by_name("phi_u0").unwrap().id();
+        assert!(u
+            .out_edges(add1)
+            .any(|e| e.dst() == phi0 && e.distance() == 1));
+    }
+
+    #[test]
+    fn unroll_preserves_rec_mii_per_iteration_ratio() {
+        // acc: 2-op recurrence, distance 1 => RecMII 2.
+        // Unrolled x2: 4-op recurrence, distance 1 => RecMII 4, i.e. the
+        // same 2 cycles per original iteration.
+        let g = acc();
+        assert_eq!(g.rec_mii(), 2);
+        assert_eq!(g.unroll(2).rec_mii(), 4);
+    }
+
+    #[test]
+    fn unroll_keeps_intra_acyclic() {
+        let g = acc();
+        for f in 1..=4 {
+            assert!(g.unroll(f).validate().is_ok(), "factor {f}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unroll factor must be positive")]
+    fn zero_factor_panics() {
+        acc().unroll(0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests over random DFGs: structural invariants of the
+//! graph algorithms and transforms.
+
+use proptest::prelude::*;
+use rewire_dfg::generate::{random_dfg, RandomDfgParams};
+use rewire_dfg::Dfg;
+
+fn params(nodes: usize, recurrences: usize) -> RandomDfgParams {
+    RandomDfgParams {
+        nodes,
+        recurrences,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Topological order is a permutation of the nodes respecting every
+    /// intra-iteration edge.
+    #[test]
+    fn topo_order_is_a_valid_permutation(seed in 0u64..100_000, n in 2usize..40) {
+        let g = random_dfg(&params(n, 1), seed);
+        let order = g.topo_order();
+        prop_assert_eq!(order.len(), g.num_nodes());
+        let pos = |v: rewire_dfg::NodeId| order.iter().position(|&x| x == v).unwrap();
+        for e in g.edges() {
+            if e.distance() == 0 {
+                prop_assert!(pos(e.src()) < pos(e.dst()));
+            }
+        }
+    }
+
+    /// ASAP times satisfy all intra edges with exactly-one-cycle latency
+    /// lower bounds, and ALAP never precedes ASAP.
+    #[test]
+    fn asap_alap_are_consistent(seed in 0u64..100_000, n in 2usize..40) {
+        let g = random_dfg(&params(n, 0), seed);
+        let asap = g.asap_times();
+        let alap = g.alap_times();
+        for e in g.edges() {
+            if e.distance() == 0 {
+                prop_assert!(asap[e.dst().index()] >= asap[e.src().index()] + 1);
+                prop_assert!(alap[e.dst().index()] >= alap[e.src().index()] + 1);
+            }
+        }
+        for v in g.node_ids() {
+            prop_assert!(alap[v.index()] >= asap[v.index()]);
+        }
+    }
+
+    /// RecMII is monotone under unrolling: unroll-by-f multiplies the
+    /// recurrence bound by exactly f (same cycles, f× latency, same
+    /// distance structure after re-normalisation).
+    #[test]
+    fn unroll_scales_rec_mii(seed in 0u64..100_000, f in 1u32..4) {
+        let g = random_dfg(&params(12, 1), seed);
+        let rec = g.rec_mii();
+        let u = g.unroll(f);
+        prop_assert_eq!(u.rec_mii(), rec * f);
+    }
+
+    /// Text serialisation round-trips exactly.
+    #[test]
+    fn text_round_trip(seed in 0u64..100_000, n in 2usize..30) {
+        let g = random_dfg(&params(n, 2), seed);
+        let parsed = Dfg::from_text(&g.to_text()).unwrap();
+        prop_assert_eq!(parsed.num_nodes(), g.num_nodes());
+        prop_assert_eq!(parsed.num_edges(), g.num_edges());
+        for (a, b) in parsed.edges().zip(g.edges()) {
+            prop_assert_eq!((a.src(), a.dst(), a.distance()), (b.src(), b.dst(), b.distance()));
+        }
+        for (a, b) in parsed.nodes().zip(g.nodes()) {
+            prop_assert_eq!(a.op(), b.op());
+            prop_assert_eq!(a.name(), b.name());
+        }
+    }
+
+    /// Hop distance is symmetric on undirected connectivity and zero only
+    /// for self/overlapping sets.
+    #[test]
+    fn hop_distance_symmetry(seed in 0u64..100_000) {
+        let g = random_dfg(&params(15, 1), seed);
+        let ids: Vec<_> = g.node_ids().collect();
+        let a = ids[3];
+        let b = ids[10];
+        let d_ab = g.hop_distance_to_set(a, &[b]);
+        let d_ba = g.hop_distance_to_set(b, &[a]);
+        prop_assert_eq!(d_ab, d_ba);
+    }
+
+    /// The DOT export mentions every node and every edge arrow.
+    #[test]
+    fn dot_is_complete(seed in 0u64..100_000, n in 2usize..20) {
+        let g = random_dfg(&params(n, 1), seed);
+        let dot = g.to_dot();
+        prop_assert_eq!(dot.matches(" -> ").count(), g.num_edges());
+        for v in g.node_ids() {
+            let tag = format!("{v} [");
+            prop_assert!(dot.contains(&tag));
+        }
+    }
+}

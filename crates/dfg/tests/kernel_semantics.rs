@@ -1,0 +1,78 @@
+//! Cross-checks of kernel structure against intended algorithm shapes.
+
+use rewire_arch::OpKind;
+use rewire_dfg::kernels;
+
+#[test]
+fn reduction_kernels_have_accumulator_cycles() {
+    // Every kernel that reduces over the inner loop must contain a
+    // phi-closed cycle with distance ≥ 1.
+    for name in ["gesummv", "gemm", "syrk", "fir", "md-knn", "backprop"] {
+        let g = kernels::by_name(name).unwrap();
+        let has_acc = g.edges().any(|e| {
+            e.is_loop_carried() && g.node(e.dst()).op() == OpKind::Phi
+        });
+        assert!(has_acc, "{name} lost its accumulator");
+    }
+}
+
+#[test]
+fn loads_always_have_address_producers() {
+    for (name, g) in kernels::all() {
+        for node in g.nodes() {
+            if node.op() == OpKind::Load {
+                assert!(
+                    g.parents(node.id()).count() >= 1,
+                    "{name}: {} has no address input",
+                    node.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stores_are_sinks_or_memory_carried() {
+    // A store's only outgoing edges model memory-carried dependencies
+    // (distance ≥ 1); no intra-iteration value flows out of a store.
+    for (name, g) in kernels::all() {
+        for node in g.nodes() {
+            if node.op() == OpKind::Store {
+                for e in g.out_edges(node.id()) {
+                    assert!(
+                        e.is_loop_carried(),
+                        "{name}: {} feeds an intra-iteration edge",
+                        node.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn guards_compare_induction_variables() {
+    // Every kernel has at least one loop-exit compare fed by an induction
+    // variable (an `Addr` self-loop node).
+    for (name, g) in kernels::all() {
+        let has_guard = g.nodes().any(|n| {
+            n.op() == OpKind::Cmp
+                && g.parents(n.id()).any(|p| {
+                    g.node(p).op() == OpKind::Addr
+                        && g.out_edges(p).any(|e| e.dst() == p && e.is_loop_carried())
+                })
+        });
+        assert!(has_guard, "{name} has no induction-guard compare");
+    }
+}
+
+#[test]
+fn kernel_depth_is_plausible() {
+    for (name, g) in kernels::all() {
+        let depth = g.longest_path();
+        assert!(
+            (3..=20).contains(&depth),
+            "{name}: depth {depth} outside the plausible inner-loop band"
+        );
+    }
+}

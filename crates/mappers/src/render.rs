@@ -1,0 +1,129 @@
+//! Human-readable rendering of mappings: a per-slot grid of the fabric.
+
+use crate::Mapping;
+use rewire_arch::Cgra;
+use rewire_dfg::Dfg;
+use std::fmt::Write as _;
+
+impl Mapping {
+    /// Renders the mapping as one fabric grid per modulo slot, each cell
+    /// showing the node executing there (or `·` for an idle FU), plus a
+    /// per-slot routing-pressure line.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rewire_arch::presets;
+    /// use rewire_dfg::kernels;
+    /// use rewire_mappers::{MapLimits, Mapper, PathFinderMapper};
+    ///
+    /// let cgra = presets::paper_4x4_r4();
+    /// let dfg = kernels::fir();
+    /// if let Some(m) = PathFinderMapper::new().map(&dfg, &cgra, &MapLimits::fast()).mapping {
+    ///     let art = m.render_grid(&dfg, &cgra);
+    ///     assert!(art.contains("slot 0"));
+    /// }
+    /// ```
+    pub fn render_grid(&self, dfg: &Dfg, cgra: &Cgra) -> String {
+        let ii = self.ii();
+        // Column width: longest node name, at least 3.
+        let width = dfg
+            .nodes()
+            .map(|n| n.name().len())
+            .max()
+            .unwrap_or(1)
+            .max(3);
+
+        // slot -> coord -> name
+        let mut grid: Vec<Vec<Vec<Option<String>>>> =
+            vec![vec![vec![None; cgra.cols() as usize]; cgra.rows() as usize]; ii as usize];
+        for node in dfg.nodes() {
+            if let Some((pe, t)) = self.placement(node.id()) {
+                let c = cgra.pe(pe).coord();
+                grid[(t % ii) as usize][c.row as usize][c.col as usize] =
+                    Some(node.name().to_string());
+            }
+        }
+
+        // Routing pressure per slot: occupied link/register cells.
+        let mut links_used = vec![0usize; ii as usize];
+        let mut regs_used = vec![0usize; ii as usize];
+        for e in dfg.edges() {
+            if let Some(route) = self.route(e.id()) {
+                for cell in route.resources() {
+                    match cell {
+                        rewire_mrrg::Resource::Link { slot, .. } => {
+                            links_used[*slot as usize] += 1;
+                        }
+                        rewire_mrrg::Resource::Reg { slot, .. } => {
+                            regs_used[*slot as usize] += 1;
+                        }
+                        rewire_mrrg::Resource::Fu { .. } => {}
+                    }
+                }
+            }
+        }
+
+        let mut out = String::new();
+        for slot in 0..ii as usize {
+            let _ = writeln!(
+                out,
+                "slot {slot}:  ({} link cells, {} register cells in use)",
+                links_used[slot], regs_used[slot]
+            );
+            for row in &grid[slot] {
+                let _ = write!(out, "  ");
+                for cell in row {
+                    match cell {
+                        Some(name) => {
+                            let _ = write!(out, "[{name:>width$}]");
+                        }
+                        None => {
+                            let _ = write!(out, "[{:>width$}]", "·");
+                        }
+                    }
+                }
+                let _ = writeln!(out);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MapLimits, Mapper, PathFinderMapper};
+    use rewire_arch::presets;
+    use rewire_dfg::kernels;
+    use std::time::Duration;
+
+    #[test]
+    fn grid_shows_every_placed_node_once() {
+        let cgra = presets::paper_4x4_r4();
+        let dfg = kernels::fir();
+        let limits = MapLimits::fast().with_ii_time_budget(Duration::from_secs(2));
+        let m = PathFinderMapper::new()
+            .map(&dfg, &cgra, &limits)
+            .mapping
+            .expect("fir maps");
+        let art = m.render_grid(&dfg, &cgra);
+        for node in dfg.nodes() {
+            assert!(art.contains(node.name()), "{} missing", node.name());
+        }
+        // One grid per slot, each with 4 rows.
+        assert_eq!(art.matches("slot ").count(), m.ii() as usize);
+    }
+
+    #[test]
+    fn empty_mapping_renders_idle_fabric() {
+        let cgra = presets::paper_4x4_r4();
+        let dfg = kernels::fir();
+        let mrrg = rewire_mrrg::Mrrg::new(&cgra, 2);
+        let m = Mapping::new(&dfg, &mrrg);
+        let art = m.render_grid(&dfg, &cgra);
+        assert!(art.contains("slot 0"));
+        assert!(art.contains("slot 1"));
+        assert!(art.contains("·"));
+    }
+}

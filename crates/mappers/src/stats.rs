@@ -1,0 +1,76 @@
+//! Mapping statistics — the quantities Table I and Fig 6 report.
+
+use std::time::Duration;
+
+/// Statistics of one mapping attempt (across all IIs explored).
+#[derive(Clone, Debug, Default)]
+pub struct MapStats {
+    /// Mapper name (`"Rewire"`, `"PF*"`, `"SA"`).
+    pub mapper: String,
+    /// Kernel name.
+    pub kernel: String,
+    /// The theoretical minimum II the attempt started from.
+    pub mii: u32,
+    /// The II of the returned mapping (`None` on failure).
+    pub achieved_ii: Option<u32>,
+    /// Number of II values explored (success or exhaustion).
+    pub iis_explored: u32,
+    /// Total single-node remapping iterations across all IIs (the paper's
+    /// Table I counter: one iteration = one node unmapped and retried).
+    pub remap_iterations: u64,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl MapStats {
+    /// Average remapping iterations per explored II — exactly the
+    /// "average number of remapping iterations from the start II to the
+    /// final mapped II" of Table I.
+    pub fn remap_iterations_per_ii(&self) -> f64 {
+        if self.iis_explored == 0 {
+            0.0
+        } else {
+            self.remap_iterations as f64 / self.iis_explored as f64
+        }
+    }
+
+    /// Whether a valid mapping was produced.
+    pub fn success(&self) -> bool {
+        self.achieved_ii.is_some()
+    }
+
+    /// Distance from the theoretical optimum: `achieved − MII`.
+    /// `Some(0)` is optimal, `Some(1)` near-optimal (the paper's terms).
+    pub fn gap_to_mii(&self) -> Option<u32> {
+        self.achieved_ii.map(|ii| ii.saturating_sub(self.mii))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_and_gaps() {
+        let s = MapStats {
+            mapper: "PF*".into(),
+            kernel: "atax".into(),
+            mii: 3,
+            achieved_ii: Some(4),
+            iis_explored: 2,
+            remap_iterations: 100,
+            elapsed: Duration::from_millis(5),
+        };
+        assert_eq!(s.remap_iterations_per_ii(), 50.0);
+        assert_eq!(s.gap_to_mii(), Some(1));
+        assert!(s.success());
+    }
+
+    #[test]
+    fn failure_has_no_gap() {
+        let s = MapStats::default();
+        assert!(!s.success());
+        assert_eq!(s.gap_to_mii(), None);
+        assert_eq!(s.remap_iterations_per_ii(), 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Rendering and statistics coverage across fabrics and IIs.
+
+use rewire_arch::{presets, CgraBuilder};
+use rewire_dfg::kernels;
+use rewire_mappers::{MapLimits, Mapper, PathFinderMapper};
+use std::time::Duration;
+
+#[test]
+fn grid_render_scales_to_8x8() {
+    let cgra = presets::paper_8x8_r4();
+    let dfg = kernels::mvt();
+    let limits = MapLimits::fast().with_ii_time_budget(Duration::from_secs(3));
+    let Some(m) = PathFinderMapper::new().map(&dfg, &cgra, &limits).mapping else {
+        return;
+    };
+    let art = m.render_grid(&dfg, &cgra);
+    // 8 fabric rows per slot grid.
+    let rows_per_slot = art.lines().filter(|l| l.starts_with("  [")).count();
+    assert_eq!(rows_per_slot, 8 * m.ii() as usize);
+}
+
+#[test]
+fn throughput_improves_with_register_budget() {
+    // More registers never hurt the achievable II on the same kernel.
+    let rich = presets::paper_4x4_r4();
+    let poor = presets::paper_4x4_r1();
+    let dfg = kernels::fir();
+    let limits = MapLimits::fast().with_ii_time_budget(Duration::from_secs(2));
+    let a = PathFinderMapper::new().map(&dfg, &rich, &limits);
+    let b = PathFinderMapper::new().map(&dfg, &poor, &limits);
+    if let (Some(ia), Some(ib)) = (a.stats.achieved_ii, b.stats.achieved_ii) {
+        assert!(ia <= ib + 1, "4 regs ({ia}) should not trail 1 reg ({ib}) by much");
+    }
+}
+
+#[test]
+fn tiny_fabric_still_renders() {
+    let cgra = CgraBuilder::new(1, 2)
+        .memory_banks(1)
+        .memory_columns([0])
+        .build()
+        .unwrap();
+    let mut dfg = rewire_dfg::Dfg::new("t");
+    let a = dfg.add_node("a", rewire_arch::OpKind::Load);
+    let b = dfg.add_node("b", rewire_arch::OpKind::Add);
+    dfg.add_edge(a, b, 0).unwrap();
+    let limits = MapLimits::fast().with_ii_time_budget(Duration::from_secs(1));
+    if let Some(m) = PathFinderMapper::new().map(&dfg, &cgra, &limits).mapping {
+        let art = m.render_grid(&dfg, &cgra);
+        assert!(art.contains("[") && art.contains("]"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests of the iterative modulo scheduler.
+
+use proptest::prelude::*;
+use rewire_arch::presets;
+use rewire_dfg::generate::{random_dfg, RandomDfgParams};
+use rewire_mappers::{modulo_schedule, schedule_asap};
+
+fn params(nodes: usize) -> RandomDfgParams {
+    RandomDfgParams {
+        nodes,
+        memory_fraction: 0.2,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Any schedule IMS returns satisfies every dependence constraint and
+    /// never oversubscribes a modulo slot.
+    #[test]
+    fn ims_schedules_are_feasible(seed in 0u64..10_000, nodes in 6usize..30, ii in 1u32..8) {
+        let dfg = random_dfg(&params(nodes), seed);
+        let cgra = presets::paper_4x4_r4();
+        let Some(t) = modulo_schedule(&dfg, &cgra, ii) else { return Ok(()) };
+        prop_assert_eq!(t.len(), dfg.num_nodes());
+        // Dependence: t_dst + d·II ≥ t_src + 1.
+        for e in dfg.edges() {
+            prop_assert!(
+                t[e.dst().index()] as i64 + (e.distance() * ii) as i64
+                    >= t[e.src().index()] as i64 + 1,
+                "{e}"
+            );
+        }
+        // Resources: per-slot op counts within capacity.
+        let mut total = vec![0usize; ii as usize];
+        let mut mem = vec![0usize; ii as usize];
+        for v in dfg.node_ids() {
+            let slot = (t[v.index()] % ii) as usize;
+            total[slot] += 1;
+            if dfg.node(v).op().is_memory() {
+                mem[slot] += 1;
+            }
+        }
+        for s in 0..ii as usize {
+            prop_assert!(total[s] <= cgra.num_pes());
+            prop_assert!(mem[s] <= cgra.memory_pes().count());
+        }
+    }
+
+    /// Below RecMII no schedule exists; at RecMII (or above) the plain
+    /// ASAP relaxation converges.
+    #[test]
+    fn asap_tracks_rec_mii(seed in 0u64..10_000) {
+        let dfg = random_dfg(&params(14), seed);
+        let rec = dfg.rec_mii();
+        if rec > 1 {
+            prop_assert!(schedule_asap(&dfg, rec - 1).is_none());
+        }
+        prop_assert!(schedule_asap(&dfg, rec).is_some());
+    }
+
+    /// IMS never schedules below the plain ASAP lower bounds' feasibility:
+    /// whenever IMS succeeds, ASAP also has a solution at that II.
+    #[test]
+    fn ims_implies_asap_feasibility(seed in 0u64..10_000, ii in 1u32..6) {
+        let dfg = random_dfg(&params(12), seed);
+        let cgra = presets::paper_4x4_r4();
+        if modulo_schedule(&dfg, &cgra, ii).is_some() {
+            prop_assert!(schedule_asap(&dfg, ii).is_some());
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! MRRG resource cells.
+
+use rewire_arch::{LinkId, PeId};
+use std::fmt;
+
+/// One time-extended resource cell of the MRRG.
+///
+/// `slot` is always a *modulo* cycle in `0..II`; absolute schedule times are
+/// reduced by the owning [`Mrrg`](crate::Mrrg) before cells are touched.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Resource {
+    /// The ALU of `pe` in modulo slot `slot` (exclusive to one DFG node).
+    Fu {
+        /// Owning PE.
+        pe: PeId,
+        /// Modulo cycle slot.
+        slot: u32,
+    },
+    /// The directed NoC link `link` in modulo slot `slot`.
+    Link {
+        /// The traversed link.
+        link: LinkId,
+        /// Modulo slot of the departure cycle.
+        slot: u32,
+    },
+    /// Register `reg` of `pe` during modulo slot `slot`.
+    Reg {
+        /// Owning PE.
+        pe: PeId,
+        /// Register index within the PE's register file.
+        reg: u8,
+        /// Modulo slot during which the value resides in the register.
+        slot: u32,
+    },
+}
+
+impl Resource {
+    /// The modulo slot of this cell.
+    pub fn slot(&self) -> u32 {
+        match *self {
+            Resource::Fu { slot, .. }
+            | Resource::Link { slot, .. }
+            | Resource::Reg { slot, .. } => slot,
+        }
+    }
+
+    /// `true` for register cells — the scarce commodity the paper's
+    /// 1-register configuration stresses.
+    pub fn is_reg(&self) -> bool {
+        matches!(self, Resource::Reg { .. })
+    }
+
+    /// `true` for link cells.
+    pub fn is_link(&self) -> bool {
+        matches!(self, Resource::Link { .. })
+    }
+
+    /// `true` for FU cells.
+    pub fn is_fu(&self) -> bool {
+        matches!(self, Resource::Fu { .. })
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Resource::Fu { pe, slot } => write!(f, "FU({pe}@{slot})"),
+            Resource::Link { link, slot } => write!(f, "LINK({link}@{slot})"),
+            Resource::Reg { pe, reg, slot } => write!(f, "REG({pe}.r{reg}@{slot})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        let fu = Resource::Fu {
+            pe: PeId::new(0),
+            slot: 1,
+        };
+        let link = Resource::Link {
+            link: LinkId::new(2),
+            slot: 0,
+        };
+        let reg = Resource::Reg {
+            pe: PeId::new(3),
+            reg: 1,
+            slot: 2,
+        };
+        assert!(fu.is_fu() && !fu.is_link() && !fu.is_reg());
+        assert!(link.is_link());
+        assert!(reg.is_reg());
+        assert_eq!(fu.slot(), 1);
+        assert_eq!(link.slot(), 0);
+        assert_eq!(reg.slot(), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        let reg = Resource::Reg {
+            pe: PeId::new(3),
+            reg: 1,
+            slot: 2,
+        };
+        assert_eq!(format!("{reg}"), "REG(PE3.r1@2)");
+    }
+}

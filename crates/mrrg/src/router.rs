@@ -1,0 +1,706 @@
+//! Exact-arrival routers over the MRRG.
+//!
+//! Placement fixes both endpoints *and* both times of every route, so
+//! routing is a shortest-path problem on a layered DAG: layer `k` holds the
+//! possible value locations `k` cycles after departure, and every transition
+//! consumes exactly one MRRG cell. A min-cost path is found with one dynamic
+//! -programming sweep per layer — no priority queue needed because all
+//! edges advance exactly one layer.
+
+use crate::{Mrrg, Occupancy, Resource, Route, RouteError, RouteRequest};
+use rewire_arch::Cgra;
+use rewire_dfg::NodeId;
+
+/// Pluggable cell-cost policy for the router.
+pub trait CostModel {
+    /// Cost for `signal` at step-age `phase` to occupy `cell`, or `None`
+    /// if the cell must not be used (e.g. it carries a different signal —
+    /// or the same signal at a different age — under exclusive rules).
+    fn cell_cost(&self, occ: &Occupancy, cell: Resource, signal: NodeId, phase: u32)
+        -> Option<f64>;
+}
+
+/// Exclusive routing: a cell is usable only if free or already carrying the
+/// same signal. This is the policy used for final verification — a route
+/// found under `UnitCost` is physically realisable.
+///
+/// Links cost 1.0 and register cells 0.95: timing slack is absorbed by
+/// waiting in local registers rather than ping-ponging across the NoC,
+/// which both conserves link bandwidth and makes tie-breaking
+/// deterministic.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct UnitCost;
+
+impl CostModel for UnitCost {
+    fn cell_cost(
+        &self,
+        occ: &Occupancy,
+        cell: Resource,
+        signal: NodeId,
+        phase: u32,
+    ) -> Option<f64> {
+        occ.usable_by(cell, signal, phase)
+            .then_some(if cell.is_reg() { 0.95 } else { 1.0 })
+    }
+}
+
+/// PathFinder-style negotiated congestion cost: occupied cells may be used,
+/// at a price that grows with present sharing and accumulated history.
+///
+/// `cost = 1 + present_factor·(#foreign signals) + history[cell]`.
+/// After each routing iteration the mapper calls
+/// [`accumulate_history`](NegotiatedCost::accumulate_history) so that
+/// persistently congested cells become expensive and losers move elsewhere.
+#[derive(Clone, Debug)]
+pub struct NegotiatedCost {
+    present_factor: f64,
+    history_increment: f64,
+    history: Vec<f64>,
+}
+
+impl NegotiatedCost {
+    /// Creates a cost table for `mrrg` with the given negotiation factors.
+    pub fn new(mrrg: &Mrrg, present_factor: f64, history_increment: f64) -> Self {
+        Self {
+            present_factor,
+            history_increment,
+            history: vec![0.0; mrrg.num_cells()],
+        }
+    }
+
+    /// Bumps the history cost of every currently overused cell; call once
+    /// per negotiation iteration.
+    pub fn accumulate_history(&mut self, occ: &Occupancy, mrrg: &Mrrg, cells: &[Resource]) {
+        for &cell in cells {
+            if occ.is_overused(cell) {
+                self.history[mrrg.index_of(cell)] += self.history_increment;
+            }
+        }
+    }
+
+    /// Bumps history on every overused cell in the table (full sweep).
+    pub fn accumulate_history_everywhere(&mut self, occ: &Occupancy) {
+        // Walk the dense table through overuse totals: cheap enough at CGRA
+        // scale and avoids materialising all cells.
+        for (idx, h) in self.history.iter_mut().enumerate() {
+            if occ_overused_at(occ, idx) {
+                *h += self.history_increment;
+            }
+        }
+    }
+
+    /// Current history cost of a cell.
+    pub fn history(&self, mrrg: &Mrrg, cell: Resource) -> f64 {
+        self.history[mrrg.index_of(cell)]
+    }
+}
+
+fn occ_overused_at(occ: &Occupancy, idx: usize) -> bool {
+    occ.num_signals_at_index(idx) > 1
+}
+
+impl Occupancy {
+    /// Number of distinct signals at a dense cell index (crate-internal
+    /// fast path used by [`NegotiatedCost`]).
+    pub(crate) fn num_signals_at_index(&self, idx: usize) -> usize {
+        self.owners_at_index(idx).len()
+    }
+}
+
+impl CostModel for NegotiatedCost {
+    fn cell_cost(
+        &self,
+        occ: &Occupancy,
+        cell: Resource,
+        signal: NodeId,
+        phase: u32,
+    ) -> Option<f64> {
+        let owners = occ.owners(cell);
+        let foreign = owners.iter().filter(|(k, _)| *k != (signal, phase)).count();
+        let idx_cost = self.history[occ.mrrg().index_of(cell)];
+        Some(1.0 + self.present_factor * foreign as f64 + idx_cost)
+    }
+}
+
+/// Value location during routing: on the PE's wire fabric, or parked in a
+/// register (with its residency run length, to respect the modulo wrap).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Carrier {
+    Wire,
+    /// `(register index, cycles spent in it so far)`.
+    Reg(u8, u32),
+}
+
+/// The layered-DAG router.
+///
+/// See the crate docs for the timing contract. One `Router` borrows the
+/// architecture and MRRG shape and can serve any number of requests.
+#[derive(Clone, Copy, Debug)]
+pub struct Router<'a> {
+    cgra: &'a Cgra,
+    mrrg: &'a Mrrg,
+}
+
+impl<'a> Router<'a> {
+    /// Creates a router over `cgra` time-extended as `mrrg`.
+    pub fn new(cgra: &'a Cgra, mrrg: &'a Mrrg) -> Self {
+        Self { cgra, mrrg }
+    }
+
+    /// The MRRG shape in use.
+    pub fn mrrg(&self) -> &Mrrg {
+        self.mrrg
+    }
+
+    /// Finds a minimum-cost path satisfying `req` under `cost`.
+    ///
+    /// A path may never use the same cell twice (a same-slot revisit would
+    /// carry the value at two different ages on one physical resource), so
+    /// a returned path containing duplicates is retried with those cells
+    /// penalised; after a few attempts the request is declared unroutable.
+    ///
+    /// # Errors
+    ///
+    /// * [`RouteError::NegativeLength`] — arrival before departure,
+    /// * [`RouteError::NoPath`] — no admissible path of the exact length.
+    pub fn route(
+        &self,
+        occ: &Occupancy,
+        req: &RouteRequest,
+        cost: &impl CostModel,
+    ) -> Result<Route, RouteError> {
+        let mut overlay: std::collections::HashMap<Resource, f64> =
+            std::collections::HashMap::new();
+        for _attempt in 0..10 {
+            let route = self.route_attempt(occ, req, cost, &overlay)?;
+            let mut duplicates = Vec::new();
+            for (i, a) in route.resources().iter().enumerate() {
+                if route.resources()[i + 1..].contains(a) && !duplicates.contains(a) {
+                    duplicates.push(*a);
+                }
+            }
+            if duplicates.is_empty() {
+                return Ok(route);
+            }
+            // Steer the next attempt away from every looped cell.
+            for cell in duplicates {
+                *overlay.entry(cell).or_insert(0.0) += 8.0;
+            }
+        }
+        Err(RouteError::NoPath { request: *req })
+    }
+
+    /// One DP attempt with an additive cost overlay.
+    fn route_attempt(
+        &self,
+        occ: &Occupancy,
+        req: &RouteRequest,
+        cost: &impl CostModel,
+        overlay: &std::collections::HashMap<Resource, f64>,
+    ) -> Result<Route, RouteError> {
+        let len = req
+            .num_steps()
+            .ok_or(RouteError::NegativeLength { request: *req })? as usize;
+        let ii = self.mrrg.ii();
+        let regs = self.mrrg.regs_per_pe() as usize;
+        // State encoding: pe * stride + carrier, carrier 0 = Wire,
+        // 1 + r*ii + (run-1) = Reg(r, run).
+        let stride = 1 + regs * ii as usize;
+        let num_states = self.cgra.num_pes() * stride;
+        let encode = |pe: usize, c: Carrier| -> usize {
+            pe * stride
+                + match c {
+                    Carrier::Wire => 0,
+                    Carrier::Reg(r, run) => 1 + r as usize * ii as usize + (run as usize - 1),
+                }
+        };
+        let decode = |state: usize| -> (usize, Carrier) {
+            let pe = state / stride;
+            let c = state % stride;
+            if c == 0 {
+                (pe, Carrier::Wire)
+            } else {
+                let r = (c - 1) / ii as usize;
+                let run = (c - 1) % ii as usize + 1;
+                (pe, Carrier::Reg(r as u8, run as u32))
+            }
+        };
+
+        const INF: f64 = f64::INFINITY;
+        let mut cur = vec![INF; num_states];
+        let mut parents: Vec<Vec<(u32, Resource)>> = Vec::with_capacity(len);
+        cur[encode(req.src_pe.index(), Carrier::Wire)] = 0.0;
+
+        for k in 0..len {
+            let cycle = req.depart_cycle + k as u32;
+            let slot = self.mrrg.slot_of(cycle);
+            let mut next = vec![INF; num_states];
+            let mut parent = vec![
+                (
+                    u32::MAX,
+                    Resource::Fu {
+                        pe: req.src_pe,
+                        slot: 0
+                    }
+                );
+                num_states
+            ];
+
+            #[allow(clippy::needless_range_loop)] // index is also the state id
+            for state in 0..num_states {
+                let base = cur[state];
+                if base == INF {
+                    continue;
+                }
+                let (pe_idx, carrier) = decode(state);
+                let pe = self.cgra.pes().nth(pe_idx).expect("valid pe index").id();
+
+                let relax = |next_state: usize,
+                             res: Resource,
+                             next_vec: &mut Vec<f64>,
+                             parent_vec: &mut Vec<(u32, Resource)>| {
+                    if let Some(c) = cost.cell_cost(occ, res, req.signal, k as u32) {
+                        let cand = base + c + overlay.get(&res).copied().unwrap_or(0.0);
+                        if cand < next_vec[next_state] {
+                            next_vec[next_state] = cand;
+                            parent_vec[next_state] = (state as u32, res);
+                        }
+                    }
+                };
+
+                // Link hops (legal from wire and from a register read-out).
+                for link in self.cgra.links_from(pe) {
+                    let res = Resource::Link {
+                        link: link.id(),
+                        slot,
+                    };
+                    let ns = encode(link.dst().index(), Carrier::Wire);
+                    relax(ns, res, &mut next, &mut parent);
+                }
+
+                match carrier {
+                    Carrier::Wire => {
+                        // Park in any register.
+                        for r in 0..regs as u8 {
+                            let res = Resource::Reg { pe, reg: r, slot };
+                            let ns = encode(pe_idx, Carrier::Reg(r, 1));
+                            relax(ns, res, &mut next, &mut parent);
+                        }
+                    }
+                    Carrier::Reg(r, run) => {
+                        // Keep holding (bounded by II so no modulo cell is
+                        // claimed twice by this route).
+                        if run < ii {
+                            let res = Resource::Reg { pe, reg: r, slot };
+                            let ns = encode(pe_idx, Carrier::Reg(r, run + 1));
+                            relax(ns, res, &mut next, &mut parent);
+                        }
+                        // Transfer to a sibling register.
+                        for r2 in 0..regs as u8 {
+                            if r2 != r {
+                                let res = Resource::Reg { pe, reg: r2, slot };
+                                let ns = encode(pe_idx, Carrier::Reg(r2, 1));
+                                relax(ns, res, &mut next, &mut parent);
+                            }
+                        }
+                    }
+                }
+            }
+
+            parents.push(parent);
+            cur = next;
+        }
+
+        // Arrival. Two ways for the consumer FU to read the value during
+        // `arrive_cycle`:
+        //  (a) locally — the value sits at the destination PE (on its wire
+        //      or in one of its registers) after all `len` moves, or
+        //  (b) delivered — after `len` moves the value sits at a
+        //      *neighbour*, and the final link hop happens combinationally
+        //      during the consumption cycle itself (the ADRES/HyCube
+        //      register→link→FU-input path), occupying that link's cell at
+        //      `slot(arrive_cycle)`.
+        let dst = req.dst_pe.index();
+        let arrive_slot = self.mrrg.slot_of(req.arrive_cycle);
+        let mut best: Option<(f64, usize, Option<Resource>)> = None;
+        for c in 0..stride {
+            let s = dst * stride + c;
+            if cur[s] < best.map_or(f64::INFINITY, |(b, ..)| b) {
+                best = Some((cur[s], s, None));
+            }
+        }
+        for link in self.cgra.links_to(req.dst_pe) {
+            let res = Resource::Link {
+                link: link.id(),
+                slot: arrive_slot,
+            };
+            let Some(hop_cost) = cost.cell_cost(occ, res, req.signal, len as u32) else {
+                continue;
+            };
+            let hop_cost = hop_cost + overlay.get(&res).copied().unwrap_or(0.0);
+            for c in 0..stride {
+                let s = link.src().index() * stride + c;
+                let total = cur[s] + hop_cost;
+                if total < best.map_or(f64::INFINITY, |(b, ..)| b) {
+                    best = Some((total, s, Some(res)));
+                }
+            }
+        }
+        let Some((best_cost, best_state, delivery)) = best else {
+            return Err(RouteError::NoPath { request: *req });
+        };
+        if best_cost == f64::INFINITY {
+            return Err(RouteError::NoPath { request: *req });
+        }
+
+        // Reconstruct.
+        let mut resources = vec![];
+        if let Some(res) = delivery {
+            resources.push(res);
+        }
+        let mut state = best_state as u32;
+        for k in (0..len).rev() {
+            let (prev, res) = parents[k][state as usize];
+            resources.push(res);
+            state = prev;
+        }
+        resources.reverse();
+        debug_assert!(resources.len() == len || resources.len() == len + 1);
+        Ok(Route::new(*req, resources, best_cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rewire_arch::{presets, Coord, PeId};
+
+    fn setup(ii: u32) -> (rewire_arch::Cgra, Mrrg) {
+        let cgra = presets::paper_4x4_r4();
+        let mrrg = Mrrg::new(&cgra, ii);
+        (cgra, mrrg)
+    }
+
+    fn pe(cgra: &rewire_arch::Cgra, row: u16, col: u16) -> PeId {
+        cgra.pe_at(Coord::new(row, col)).unwrap().id()
+    }
+
+    fn req(signal: u32, src: PeId, depart: u32, dst: PeId, arrive: u32) -> RouteRequest {
+        RouteRequest {
+            signal: NodeId::new(signal),
+            src_pe: src,
+            depart_cycle: depart,
+            dst_pe: dst,
+            arrive_cycle: arrive,
+        }
+    }
+
+    #[test]
+    fn single_hop() {
+        let (cgra, mrrg) = setup(2);
+        let occ = Occupancy::new(&mrrg);
+        let router = Router::new(&cgra, &mrrg);
+        let r = router
+            .route(
+                &occ,
+                &req(0, pe(&cgra, 0, 0), 1, pe(&cgra, 0, 1), 2),
+                &UnitCost,
+            )
+            .unwrap();
+        assert_eq!(r.hops(), 1);
+        assert_eq!(r.reg_cycles(), 0);
+    }
+
+    #[test]
+    fn manhattan_path_uses_only_links_when_timed_exactly() {
+        let (cgra, mrrg) = setup(4);
+        let occ = Occupancy::new(&mrrg);
+        let router = Router::new(&cgra, &mrrg);
+        // (0,0) -> (2,3): manhattan 5, departure 1, arrival 6.
+        let r = router
+            .route(
+                &occ,
+                &req(0, pe(&cgra, 0, 0), 1, pe(&cgra, 2, 3), 6),
+                &UnitCost,
+            )
+            .unwrap();
+        assert_eq!(r.hops(), 5);
+        assert_eq!(r.reg_cycles(), 0);
+    }
+
+    #[test]
+    fn slack_is_absorbed_by_registers() {
+        let (cgra, mrrg) = setup(4);
+        let occ = Occupancy::new(&mrrg);
+        let router = Router::new(&cgra, &mrrg);
+        // One hop needed but three cycles available: two register cells.
+        let r = router
+            .route(
+                &occ,
+                &req(0, pe(&cgra, 0, 0), 1, pe(&cgra, 0, 1), 4),
+                &UnitCost,
+            )
+            .unwrap();
+        assert_eq!(r.hops(), 1);
+        assert_eq!(r.reg_cycles(), 2);
+    }
+
+    #[test]
+    fn same_pe_forwarding_is_free() {
+        let (cgra, mrrg) = setup(2);
+        let occ = Occupancy::new(&mrrg);
+        let router = Router::new(&cgra, &mrrg);
+        let p = pe(&cgra, 1, 1);
+        let r = router.route(&occ, &req(0, p, 3, p, 3), &UnitCost).unwrap();
+        assert!(r.resources().is_empty());
+        assert_eq!(r.cost(), 0.0);
+    }
+
+    #[test]
+    fn zero_length_to_a_neighbour_uses_the_delivery_hop() {
+        // Producer at t, consumer at t+1 on an adjacent PE: the latched
+        // output crosses one link combinationally during the consumption
+        // cycle (the ADRES/HyCube chaining path).
+        let (cgra, mrrg) = setup(2);
+        let occ = Occupancy::new(&mrrg);
+        let router = Router::new(&cgra, &mrrg);
+        let r = router
+            .route(
+                &occ,
+                &req(0, pe(&cgra, 0, 0), 3, pe(&cgra, 0, 1), 3),
+                &UnitCost,
+            )
+            .unwrap();
+        assert_eq!(r.hops(), 1);
+        assert_eq!(r.resources()[0].slot(), 1); // the consumption cycle's slot
+    }
+
+    #[test]
+    fn zero_length_to_a_distant_pe_is_no_path() {
+        let (cgra, mrrg) = setup(2);
+        let occ = Occupancy::new(&mrrg);
+        let router = Router::new(&cgra, &mrrg);
+        let e = router
+            .route(
+                &occ,
+                &req(0, pe(&cgra, 0, 0), 3, pe(&cgra, 2, 3), 3),
+                &UnitCost,
+            )
+            .unwrap_err();
+        assert!(matches!(e, RouteError::NoPath { .. }));
+    }
+
+    #[test]
+    fn negative_length_is_an_error() {
+        let (cgra, mrrg) = setup(2);
+        let occ = Occupancy::new(&mrrg);
+        let router = Router::new(&cgra, &mrrg);
+        let e = router
+            .route(
+                &occ,
+                &req(0, pe(&cgra, 0, 0), 3, pe(&cgra, 0, 1), 2),
+                &UnitCost,
+            )
+            .unwrap_err();
+        assert!(matches!(e, RouteError::NegativeLength { .. }));
+    }
+
+    #[test]
+    fn too_far_for_the_deadline_is_no_path() {
+        let (cgra, mrrg) = setup(4);
+        let occ = Occupancy::new(&mrrg);
+        let router = Router::new(&cgra, &mrrg);
+        // Manhattan distance 5 but only 2 cycles.
+        let e = router
+            .route(
+                &occ,
+                &req(0, pe(&cgra, 0, 0), 1, pe(&cgra, 2, 3), 3),
+                &UnitCost,
+            )
+            .unwrap_err();
+        assert!(matches!(e, RouteError::NoPath { .. }));
+    }
+
+    #[test]
+    fn blocked_cells_are_respected_by_unit_cost() {
+        let (cgra, mrrg) = setup(1);
+        let mut occ = Occupancy::new(&mrrg);
+        let router = Router::new(&cgra, &mrrg);
+        // Block both links out of (0,0) at slot 0 (II = 1, so every cycle).
+        for link in cgra.links_from(pe(&cgra, 0, 0)) {
+            occ.claim(
+                Resource::Link {
+                    link: link.id(),
+                    slot: 0,
+                },
+                NodeId::new(99),
+                0,
+            );
+        }
+        // Also fill every register of (0,0) so the value cannot wait.
+        for r in 0..cgra.regs_per_pe() {
+            occ.claim(
+                Resource::Reg {
+                    pe: pe(&cgra, 0, 0),
+                    reg: r,
+                    slot: 0,
+                },
+                NodeId::new(99),
+                0,
+            );
+        }
+        let e = router
+            .route(
+                &occ,
+                &req(0, pe(&cgra, 0, 0), 1, pe(&cgra, 0, 1), 2),
+                &UnitCost,
+            )
+            .unwrap_err();
+        assert!(matches!(e, RouteError::NoPath { .. }));
+    }
+
+    #[test]
+    fn same_signal_may_share_blocked_cells() {
+        let (cgra, mrrg) = setup(1);
+        let mut occ = Occupancy::new(&mrrg);
+        let router = Router::new(&cgra, &mrrg);
+        for link in cgra.links_from(pe(&cgra, 0, 0)) {
+            occ.claim(
+                Resource::Link {
+                    link: link.id(),
+                    slot: 0,
+                },
+                NodeId::new(7),
+                0,
+            );
+        }
+        // Signal 7 can reuse its own cells.
+        let r = router
+            .route(
+                &occ,
+                &req(7, pe(&cgra, 0, 0), 1, pe(&cgra, 0, 1), 2),
+                &UnitCost,
+            )
+            .unwrap();
+        assert_eq!(r.hops(), 1);
+    }
+
+    #[test]
+    fn negotiated_cost_routes_through_congestion() {
+        let (cgra, mrrg) = setup(1);
+        let mut occ = Occupancy::new(&mrrg);
+        let router = Router::new(&cgra, &mrrg);
+        for link in cgra.links_from(pe(&cgra, 0, 0)) {
+            occ.claim(
+                Resource::Link {
+                    link: link.id(),
+                    slot: 0,
+                },
+                NodeId::new(99),
+                0,
+            );
+        }
+        for r in 0..cgra.regs_per_pe() {
+            occ.claim(
+                Resource::Reg {
+                    pe: pe(&cgra, 0, 0),
+                    reg: r,
+                    slot: 0,
+                },
+                NodeId::new(99),
+                0,
+            );
+        }
+        let nc = NegotiatedCost::new(&mrrg, 10.0, 1.0);
+        let r = router
+            .route(&occ, &req(0, pe(&cgra, 0, 0), 1, pe(&cgra, 0, 1), 2), &nc)
+            .unwrap();
+        assert_eq!(r.hops(), 1);
+        assert!(r.cost() > 10.0, "congestion penalty applies: {}", r.cost());
+    }
+
+    #[test]
+    fn targeted_history_accumulation() {
+        let (cgra, mrrg) = setup(2);
+        let mut occ = Occupancy::new(&mrrg);
+        let l0 = cgra.links().next().unwrap().id();
+        let cell = Resource::Link { link: l0, slot: 0 };
+        let other = Resource::Link { link: l0, slot: 1 };
+        occ.claim(cell, NodeId::new(1), 0);
+        occ.claim(cell, NodeId::new(2), 0);
+        let mut nc = NegotiatedCost::new(&mrrg, 1.0, 0.25);
+        // The targeted variant only touches the listed cells.
+        nc.accumulate_history(&occ, &mrrg, &[cell, other]);
+        assert_eq!(nc.history(&mrrg, cell), 0.25);
+        assert_eq!(nc.history(&mrrg, other), 0.0, "not overused: untouched");
+    }
+
+    #[test]
+    fn history_cost_accumulates_on_overuse() {
+        let (cgra, mrrg) = setup(1);
+        let mut occ = Occupancy::new(&mrrg);
+        let cell = Resource::Link {
+            link: cgra.links_from(pe(&cgra, 0, 0)).next().unwrap().id(),
+            slot: 0,
+        };
+        occ.claim(cell, NodeId::new(1), 0);
+        occ.claim(cell, NodeId::new(2), 0);
+        let mut nc = NegotiatedCost::new(&mrrg, 1.0, 0.5);
+        nc.accumulate_history_everywhere(&occ);
+        nc.accumulate_history_everywhere(&occ);
+        assert_eq!(nc.history(&mrrg, cell), 1.0);
+    }
+
+    #[test]
+    fn self_edge_round_trip_waits_in_registers() {
+        // A node feeding itself next iteration at II 3: depart t+1, arrive
+        // t+3 — two register cells on its own PE.
+        let (cgra, mrrg) = setup(3);
+        let occ = Occupancy::new(&mrrg);
+        let router = Router::new(&cgra, &mrrg);
+        let p = pe(&cgra, 2, 2);
+        let r = router.route(&occ, &req(0, p, 1, p, 3), &UnitCost).unwrap();
+        assert_eq!(r.hops(), 0);
+        assert_eq!(r.reg_cycles(), 2);
+        // Both cells in the same register at consecutive slots.
+        let slots: Vec<u32> = r.resources().iter().map(|c| c.slot()).collect();
+        assert_eq!(slots, vec![1, 2]);
+    }
+
+    #[test]
+    fn register_residency_respects_modulo_wrap() {
+        // II=2, single register per PE: a 5-cycle wait cannot fit (any
+        // register can hold at most II=2 consecutive cycles, and chaining
+        // needs a second register).
+        let cgra = presets::paper_4x4_r1();
+        let mrrg = Mrrg::new(&cgra, 2);
+        let occ = Occupancy::new(&mrrg);
+        let router = Router::new(&cgra, &mrrg);
+        let p = cgra.pe_at(Coord::new(1, 1)).unwrap().id();
+        let out = router.route(&occ, &req(0, p, 1, p, 6), &UnitCost);
+        // With one register the value can sit at most 2 cycles, then must
+        // move; it can bounce between neighbours, so a path may still exist
+        // — but it must involve link hops, not a 5-cycle register stay.
+        if let Ok(r) = out {
+            assert!(r.hops() >= 2, "cannot idle in registers past II: {r}");
+        }
+    }
+
+    #[test]
+    fn route_claim_release_is_balanced() {
+        let (cgra, mrrg) = setup(2);
+        let mut occ = Occupancy::new(&mrrg);
+        let router = Router::new(&cgra, &mrrg);
+        let r = router
+            .route(
+                &occ,
+                &req(0, pe(&cgra, 0, 0), 1, pe(&cgra, 1, 1), 3),
+                &UnitCost,
+            )
+            .unwrap();
+        occ.claim_route(&r);
+        assert!(occ.used_cells() > 0);
+        occ.release_route(&r);
+        assert_eq!(occ.used_cells(), 0);
+    }
+}

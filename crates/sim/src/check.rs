@@ -1,0 +1,145 @@
+//! Golden-model checking: the mapped machine must compute exactly what the
+//! DFG computes.
+
+use crate::{machine, reference, Inputs};
+use rewire_arch::Cgra;
+use rewire_dfg::{Dfg, EdgeId, NodeId};
+use rewire_mappers::Mapping;
+use std::error::Error;
+use std::fmt;
+
+/// A semantic divergence between the mapped machine and the DFG.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The mapping failed structural validation — nothing to simulate.
+    InvalidMapping,
+    /// A live register value was destroyed before its last read.
+    RegisterClobbered {
+        /// The edge whose in-flight value was lost.
+        edge: EdgeId,
+        /// Producer iteration of the lost value.
+        iteration: u32,
+        /// Cycle at which the loss was detected.
+        cycle: u32,
+    },
+    /// A route cell's modulo slot disagrees with the cycle it is exercised
+    /// in — a router bug.
+    SlotMismatch {
+        /// The offending edge.
+        edge: EdgeId,
+        /// The absolute cycle.
+        cycle: u32,
+        /// `cycle % II`.
+        expected: u32,
+        /// The cell's recorded slot.
+        found: u32,
+    },
+    /// The machine computed a different value than the reference.
+    ValueMismatch {
+        /// The diverging node.
+        node: NodeId,
+        /// The iteration at which it diverged.
+        iteration: u32,
+        /// Golden-model value.
+        expected: i64,
+        /// Machine value.
+        got: i64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidMapping => f.write_str("mapping fails structural validation"),
+            SimError::RegisterClobbered {
+                edge,
+                iteration,
+                cycle,
+            } => write!(
+                f,
+                "register value of edge {edge} (iteration {iteration}) clobbered by cycle {cycle}"
+            ),
+            SimError::SlotMismatch {
+                edge,
+                cycle,
+                expected,
+                found,
+            } => write!(
+                f,
+                "edge {edge} exercises a cell of slot {found} at cycle {cycle} (slot {expected})"
+            ),
+            SimError::ValueMismatch {
+                node,
+                iteration,
+                expected,
+                got,
+            } => write!(
+                f,
+                "node {node} iteration {iteration} computed {got}, reference says {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Executes the mapped kernel for `iterations` iterations and compares
+/// every node's value stream against direct DFG interpretation.
+///
+/// # Errors
+///
+/// The first divergence found, as a [`SimError`].
+pub fn verify_semantics(
+    dfg: &Dfg,
+    cgra: &Cgra,
+    mapping: &Mapping,
+    inputs: &Inputs,
+    iterations: u32,
+) -> Result<(), SimError> {
+    let machine = machine::execute(dfg, cgra, mapping, inputs, iterations)?;
+    let golden = reference::interpret(dfg, inputs, iterations);
+    for v in dfg.node_ids() {
+        for i in 0..iterations as usize {
+            let (expected, got) = (golden[v.index()][i], machine[v.index()][i]);
+            if expected != got {
+                return Err(SimError::ValueMismatch {
+                    node: v,
+                    iteration: i as u32,
+                    expected,
+                    got,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_lowercase() {
+        let msgs = [
+            SimError::InvalidMapping.to_string(),
+            SimError::RegisterClobbered {
+                edge: EdgeId::new(0),
+                iteration: 1,
+                cycle: 2,
+            }
+            .to_string(),
+            SimError::ValueMismatch {
+                node: NodeId::new(0),
+                iteration: 0,
+                expected: 1,
+                got: 2,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Configuration ("bitstream") generation: the cycle-by-cycle control words
+//! a real CGRA would load, derived from a validated mapping.
+//!
+//! Per modulo slot, each PE has an FU opcode (or NOP), each link either
+//! forwards a named signal or idles, and each register cell either loads a
+//! new value, holds, or is free. This is exactly the information Fig 1 of
+//! the paper describes the mapper as producing ("cycle-by-cycle
+//! configurations for the programmable units, including the PEs and the
+//! routers").
+
+use rewire_arch::{Cgra, LinkId, OpKind, PeId};
+use rewire_dfg::{Dfg, NodeId};
+use rewire_mappers::Mapping;
+use rewire_mrrg::Resource;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Register-cell action in one slot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegAction {
+    /// Load the routed value of `signal` this slot.
+    Write(NodeId),
+    /// Keep holding `signal`'s value.
+    Hold(NodeId),
+}
+
+/// The full per-slot configuration of a mapped CGRA.
+#[derive(Clone, Debug)]
+pub struct Configuration {
+    ii: u32,
+    /// `fu[slot][pe] = (node, op)` executing there.
+    fu: Vec<HashMap<PeId, (NodeId, OpKind)>>,
+    /// `links[slot][link] = signal` forwarded.
+    links: Vec<HashMap<LinkId, NodeId>>,
+    /// `regs[slot][(pe, reg)] = action`.
+    regs: Vec<HashMap<(PeId, u8), RegAction>>,
+}
+
+impl Configuration {
+    /// Derives the configuration from a validated mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping is incomplete (validate first).
+    pub fn from_mapping(dfg: &Dfg, mapping: &Mapping) -> Self {
+        let ii = mapping.ii() as usize;
+        let mut fu = vec![HashMap::new(); ii];
+        let mut links = vec![HashMap::new(); ii];
+        let mut regs: Vec<HashMap<(PeId, u8), RegAction>> = vec![HashMap::new(); ii];
+
+        for v in dfg.node_ids() {
+            let (pe, t) = mapping.placement(v).expect("complete mapping");
+            fu[(t % mapping.ii()) as usize].insert(pe, (v, dfg.node(v).op()));
+        }
+        for e in dfg.edges() {
+            let route = mapping.route(e.id()).expect("complete mapping");
+            let signal = e.src();
+            for (k, cell) in route.resources().iter().enumerate() {
+                match *cell {
+                    Resource::Link { link, slot } => {
+                        links[slot as usize].insert(link, signal);
+                    }
+                    Resource::Reg { pe, reg, slot } => {
+                        let is_hold = k > 0
+                            && matches!(
+                                route.resources()[k - 1],
+                                Resource::Reg { pe: p2, reg: r2, .. } if p2 == pe && r2 == reg
+                            );
+                        let action = if is_hold {
+                            RegAction::Hold(signal)
+                        } else {
+                            RegAction::Write(signal)
+                        };
+                        regs[slot as usize].insert((pe, reg), action);
+                    }
+                    Resource::Fu { .. } => unreachable!("routes never claim FU cells"),
+                }
+            }
+        }
+        Self {
+            ii: mapping.ii(),
+            fu,
+            links,
+            regs,
+        }
+    }
+
+    /// The initiation interval.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// What a PE's FU executes in `slot`.
+    pub fn fu_op(&self, slot: u32, pe: PeId) -> Option<(NodeId, OpKind)> {
+        self.fu[slot as usize].get(&pe).copied()
+    }
+
+    /// The signal a link forwards in `slot`.
+    pub fn link_signal(&self, slot: u32, link: LinkId) -> Option<NodeId> {
+        self.links[slot as usize].get(&link).copied()
+    }
+
+    /// The register-cell action in `slot`.
+    pub fn reg_action(&self, slot: u32, pe: PeId, reg: u8) -> Option<RegAction> {
+        self.regs[slot as usize].get(&(pe, reg)).copied()
+    }
+
+    /// Counts of active control words: `(fu_ops, link_transfers, reg_ops)`.
+    pub fn utilization(&self) -> (usize, usize, usize) {
+        (
+            self.fu.iter().map(|m| m.len()).sum(),
+            self.links.iter().map(|m| m.len()).sum(),
+            self.regs.iter().map(|m| m.len()).sum(),
+        )
+    }
+
+    /// Renders the full configuration as a per-slot text report.
+    pub fn render(&self, dfg: &Dfg, cgra: &Cgra) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for slot in 0..self.ii {
+            let _ = writeln!(out, "slot {slot}:");
+            for pe in cgra.pes() {
+                if let Some((node, op)) = self.fu_op(slot, pe.id()) {
+                    let _ = writeln!(
+                        out,
+                        "  {} {} exec {} ({op})",
+                        pe.id(),
+                        pe.coord(),
+                        dfg.node(node).name()
+                    );
+                }
+            }
+            for link in cgra.links() {
+                if let Some(signal) = self.link_signal(slot, link.id()) {
+                    let _ = writeln!(out, "  {link} carries {}", dfg.node(signal).name());
+                }
+            }
+            for pe in cgra.pes() {
+                for r in 0..cgra.regs_per_pe() {
+                    match self.reg_action(slot, pe.id(), r) {
+                        Some(RegAction::Write(s)) => {
+                            let _ = writeln!(out, "  {}.r{r} <- {}", pe.id(), dfg.node(s).name());
+                        }
+                        Some(RegAction::Hold(s)) => {
+                            let _ =
+                                writeln!(out, "  {}.r{r} holds {}", pe.id(), dfg.node(s).name());
+                        }
+                        None => {}
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (fu, links, regs) = self.utilization();
+        write!(
+            f,
+            "Configuration II={} ({fu} FU ops, {links} link transfers, {regs} register ops)",
+            self.ii
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rewire_arch::presets;
+    use rewire_dfg::kernels;
+    use rewire_mappers::{MapLimits, Mapper, PathFinderMapper};
+    use std::time::Duration;
+
+    fn mapped() -> (Cgra, Dfg, Mapping) {
+        let cgra = presets::paper_4x4_r4();
+        let dfg = kernels::fir();
+        let limits = MapLimits::fast().with_ii_time_budget(Duration::from_secs(2));
+        let m = PathFinderMapper::new()
+            .map(&dfg, &cgra, &limits)
+            .mapping
+            .expect("fir maps");
+        (cgra, dfg, m)
+    }
+
+    #[test]
+    fn every_node_appears_exactly_once_in_fu_config() {
+        let (_cgra, dfg, m) = mapped();
+        let cfg = Configuration::from_mapping(&dfg, &m);
+        let mut seen = 0;
+        for slot in 0..cfg.ii() {
+            seen += cfg.fu[slot as usize].len();
+        }
+        assert_eq!(seen, dfg.num_nodes());
+    }
+
+    #[test]
+    fn utilization_matches_route_cells() {
+        let (_cgra, dfg, m) = mapped();
+        let cfg = Configuration::from_mapping(&dfg, &m);
+        let (fu, links, regs) = cfg.utilization();
+        assert_eq!(fu, dfg.num_nodes());
+        // Each link/reg control word corresponds to at least one route
+        // cell (shared cells collapse to one word).
+        let total_cells: usize = dfg
+            .edges()
+            .map(|e| m.route(e.id()).unwrap().resources().len())
+            .sum();
+        assert!(links + regs <= total_cells);
+        assert!(links + regs > 0);
+    }
+
+    #[test]
+    fn render_mentions_every_slot() {
+        let (cgra, dfg, m) = mapped();
+        let cfg = Configuration::from_mapping(&dfg, &m);
+        let text = cfg.render(&dfg, &cgra);
+        for slot in 0..cfg.ii() {
+            assert!(text.contains(&format!("slot {slot}:")));
+        }
+        assert!(text.contains("exec"));
+    }
+
+    #[test]
+    fn display_summarises() {
+        let (_cgra, dfg, m) = mapped();
+        let cfg = Configuration::from_mapping(&dfg, &m);
+        let s = format!("{cfg}");
+        assert!(s.contains("FU ops"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Cycle-accurate functional simulation of mapped CGRA kernels.
+//!
+//! A mapping that passes structural validation could still be *semantically*
+//! wrong if the mapper's timing model were inconsistent (operands arriving a
+//! cycle late, register cells clobbered across modulo wraps, …). This crate
+//! closes that loop:
+//!
+//! * [`reference::interpret`] — executes the DFG directly (the golden
+//!   model), handling loop-carried dependencies and synthetic memory,
+//! * [`machine::execute`] — executes the *mapped* kernel cycle by cycle:
+//!   FUs fire in their modulo slots, values move along the committed routes
+//!   through links and register cells (with hold/overwrite checking), and
+//!   operands are read exactly when the timing contract says they arrive,
+//! * [`check::verify_semantics`] — maps both traces onto each other and
+//!   reports the first divergence,
+//! * [`config::Configuration`] — per-slot configuration words (the
+//!   "bitstream"): FU opcodes, link transfers and register writes derived
+//!   from the mapping, with a human-readable rendering.
+//!
+//! # Examples
+//!
+//! ```
+//! use rewire_arch::presets;
+//! use rewire_dfg::kernels;
+//! use rewire_mappers::{MapLimits, Mapper, PathFinderMapper};
+//! use rewire_sim::{verify_semantics, Inputs};
+//!
+//! let cgra = presets::paper_4x4_r4();
+//! let dfg = kernels::fir();
+//! let outcome = PathFinderMapper::new().map(&dfg, &cgra, &MapLimits::fast());
+//! if let Some(mapping) = &outcome.mapping {
+//!     verify_semantics(&dfg, &cgra, mapping, &Inputs::new(42), 6)
+//!         .expect("mapped kernel computes exactly what the DFG computes");
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod check;
+pub mod config;
+mod inputs;
+pub mod machine;
+pub mod reference;
+mod utilization;
+mod value;
+
+pub use check::{verify_semantics, SimError};
+pub use inputs::Inputs;
+pub use utilization::Utilization;
+pub use value::eval_op;
+
+/// A value trace: `trace[node][iteration]`.
+pub type Trace = Vec<Vec<i64>>;

@@ -1,0 +1,113 @@
+//! The golden model: direct DFG interpretation over `n` loop iterations.
+
+use crate::{eval_op, Inputs, Trace};
+use rewire_dfg::Dfg;
+
+/// Interprets `dfg` for `iterations` iterations and returns the value of
+/// every node at every iteration.
+///
+/// Loop-carried operands (`distance = d`) read the producer's value from
+/// iteration `i − d`; before the producer's first iteration completes
+/// (`i < d`) they read the producer's seeded initial value — the software
+///-pipelining prologue.
+///
+/// # Panics
+///
+/// Panics if the DFG's intra-iteration subgraph is cyclic (no evaluation
+/// order exists); validate untrusted graphs first.
+pub fn interpret(dfg: &Dfg, inputs: &Inputs, iterations: u32) -> Trace {
+    let order = dfg.topo_order();
+    let mut trace: Trace = vec![Vec::with_capacity(iterations as usize); dfg.num_nodes()];
+    for iter in 0..iterations {
+        for &v in &order {
+            let operands: Vec<i64> = dfg
+                .in_edges(v)
+                .map(|e| {
+                    let d = e.distance();
+                    if d == 0 {
+                        trace[e.src().index()][iter as usize]
+                    } else if iter >= d {
+                        trace[e.src().index()][(iter - d) as usize]
+                    } else {
+                        inputs.initial(e.src().index())
+                    }
+                })
+                .collect();
+            let value = eval_op(dfg.node(v).op(), &operands, v.index(), iter, inputs);
+            trace[v.index()].push(value);
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rewire_arch::OpKind;
+
+    #[test]
+    fn accumulator_sums_across_iterations() {
+        // phi -> add(phi, const); add -> phi (distance 1): a running sum of
+        // the constant.
+        let mut g = Dfg::new("acc");
+        let phi = g.add_node("phi", OpKind::Phi);
+        let c = g.add_node("c", OpKind::Const);
+        let add = g.add_node("add", OpKind::Add);
+        g.add_edge(phi, add, 0).unwrap();
+        g.add_edge(c, add, 0).unwrap();
+        g.add_edge(add, phi, 1).unwrap();
+
+        let inputs = Inputs::new(1);
+        let k = inputs.constant(c.index());
+        let init = inputs.initial(add.index());
+        let t = interpret(&g, &inputs, 4);
+        // iter 0: phi = initial(add); add = phi + k.
+        assert_eq!(t[phi.index()][0], init);
+        assert_eq!(t[add.index()][0], init + k);
+        // iter i: add = initial + (i+1)*k.
+        for i in 0..4usize {
+            assert_eq!(t[add.index()][i], init + (i as i64 + 1) * k);
+        }
+    }
+
+    #[test]
+    fn chain_computes_composition() {
+        let mut g = Dfg::new("chain");
+        let c = g.add_node("c", OpKind::Const);
+        let ld = g.add_node("ld", OpKind::Load);
+        let sq = g.add_node("sq", OpKind::Mul);
+        g.add_edge(c, ld, 0).unwrap();
+        g.add_edge(ld, sq, 0).unwrap();
+        g.add_edge(ld, sq, 0).unwrap();
+        let inputs = Inputs::new(2);
+        let t = interpret(&g, &inputs, 3);
+        for i in 0..3usize {
+            let loaded = inputs.load(ld.index(), i as u32, inputs.constant(c.index()));
+            assert_eq!(t[sq.index()][i], loaded.wrapping_mul(loaded));
+        }
+    }
+
+    #[test]
+    fn distance_two_reads_two_iterations_back() {
+        let mut g = Dfg::new("d2");
+        let ld = g.add_node("ld", OpKind::Load);
+        let phi = g.add_node("phi", OpKind::Phi);
+        g.add_edge(ld, phi, 2).unwrap();
+        let inputs = Inputs::new(3);
+        let t = interpret(&g, &inputs, 5);
+        assert_eq!(t[phi.index()][0], inputs.initial(ld.index()));
+        assert_eq!(t[phi.index()][1], inputs.initial(ld.index()));
+        assert_eq!(t[phi.index()][2], t[ld.index()][0]);
+        assert_eq!(t[phi.index()][4], t[ld.index()][2]);
+    }
+
+    #[test]
+    fn every_kernel_interprets_without_panic() {
+        let inputs = Inputs::new(11);
+        for (name, dfg) in rewire_dfg::kernels::all() {
+            let t = interpret(&dfg, &inputs, 4);
+            assert_eq!(t.len(), dfg.num_nodes(), "{name}");
+            assert!(t.iter().all(|v| v.len() == 4), "{name}");
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Resource-utilization reporting for a mapped kernel: how busy the fabric
+//! is at the achieved II — the efficiency numbers architects look at next
+//! to the raw II.
+
+use crate::config::Configuration;
+use rewire_arch::Cgra;
+use std::fmt;
+
+/// Utilization of one mapped kernel's fabric.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Utilization {
+    /// Fraction of FU issue slots (PEs × II) doing real work.
+    pub fu: f64,
+    /// Fraction of link cells (links × II) carrying a value.
+    pub links: f64,
+    /// Fraction of register cells (PEs × regs × II) in use.
+    pub regs: f64,
+}
+
+impl Utilization {
+    /// Computes utilization from a configuration over `cgra`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rewire_arch::presets;
+    /// use rewire_dfg::kernels;
+    /// use rewire_mappers::{MapLimits, Mapper, PathFinderMapper};
+    /// use rewire_sim::config::Configuration;
+    /// use rewire_sim::Utilization;
+    ///
+    /// let cgra = presets::paper_4x4_r4();
+    /// let dfg = kernels::fir();
+    /// if let Some(m) = PathFinderMapper::new().map(&dfg, &cgra, &MapLimits::fast()).mapping {
+    ///     let cfg = Configuration::from_mapping(&dfg, &m);
+    ///     let u = Utilization::of(&cfg, &cgra);
+    ///     assert!(u.fu > 0.0 && u.fu <= 1.0);
+    /// }
+    /// ```
+    pub fn of(config: &Configuration, cgra: &Cgra) -> Utilization {
+        let ii = config.ii() as usize;
+        let (fu_ops, link_ops, reg_ops) = config.utilization();
+        let fu_cells = cgra.num_pes() * ii;
+        let link_cells = cgra.num_links() * ii;
+        let reg_cells = cgra.num_pes() * cgra.regs_per_pe() as usize * ii;
+        Utilization {
+            fu: fu_ops as f64 / fu_cells.max(1) as f64,
+            links: link_ops as f64 / link_cells.max(1) as f64,
+            regs: reg_ops as f64 / reg_cells.max(1) as f64,
+        }
+    }
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FU {:.0}%, links {:.0}%, registers {:.0}%",
+            self.fu * 100.0,
+            self.links * 100.0,
+            self.regs * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rewire_arch::presets;
+    use rewire_dfg::kernels;
+    use rewire_mappers::{MapLimits, Mapper, PathFinderMapper};
+    use std::time::Duration;
+
+    #[test]
+    fn utilization_is_bounded_and_nonzero() {
+        let cgra = presets::paper_4x4_r4();
+        let dfg = kernels::atax();
+        let limits = MapLimits::fast().with_ii_time_budget(Duration::from_secs(2));
+        let m = PathFinderMapper::new()
+            .map(&dfg, &cgra, &limits)
+            .mapping
+            .expect("atax maps");
+        let cfg = Configuration::from_mapping(&dfg, &m);
+        let u = Utilization::of(&cfg, &cgra);
+        for v in [u.fu, u.links, u.regs] {
+            assert!((0.0..=1.0).contains(&v), "{u}");
+        }
+        assert!(u.fu > 0.3, "a 34-node kernel on 16 PEs is busy: {u}");
+    }
+
+    #[test]
+    fn fu_utilization_matches_node_count() {
+        let cgra = presets::paper_4x4_r4();
+        let dfg = kernels::fir();
+        let limits = MapLimits::fast().with_ii_time_budget(Duration::from_secs(2));
+        let m = PathFinderMapper::new()
+            .map(&dfg, &cgra, &limits)
+            .mapping
+            .expect("fir maps");
+        let cfg = Configuration::from_mapping(&dfg, &m);
+        let u = Utilization::of(&cfg, &cgra);
+        let expected = dfg.num_nodes() as f64 / (cgra.num_pes() as f64 * m.ii() as f64);
+        assert!((u.fu - expected).abs() < 1e-9);
+    }
+}

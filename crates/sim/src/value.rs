@@ -1,0 +1,126 @@
+//! Operation semantics on `i64` (wrapping integer arithmetic).
+
+use crate::Inputs;
+use rewire_arch::OpKind;
+
+/// Evaluates one operation. `operands` are in DFG in-edge insertion order
+/// (two edges from the same producer appear twice). `node_idx` selects the
+/// node-specific immediate for `Const`/`Addr`/`Load`.
+///
+/// Semantics chosen to be total (no panics on any input):
+/// division/remainder by zero yield 0, shifts are masked to 0..64, `Sqrt`
+/// is the integer square root of the absolute value.
+pub fn eval_op(op: OpKind, operands: &[i64], node_idx: usize, iter: u32, inputs: &Inputs) -> i64 {
+    let a = operands.first().copied().unwrap_or(0);
+    let b = operands.get(1).copied().unwrap_or(0);
+    match op {
+        OpKind::Add => a.wrapping_add(b),
+        OpKind::Sub => a.wrapping_sub(b),
+        OpKind::Mul => a.wrapping_mul(b),
+        OpKind::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        OpKind::Sqrt => (a.unsigned_abs() as f64).sqrt() as i64,
+        OpKind::Shl => a.wrapping_shl((b & 63) as u32),
+        OpKind::Shr => a.wrapping_shr((b & 63) as u32),
+        OpKind::And => a & b,
+        OpKind::Or => a | b,
+        OpKind::Xor => a ^ b,
+        OpKind::Cmp => i64::from(a < b),
+        OpKind::Select => {
+            if a != 0 {
+                b
+            } else {
+                operands.get(2).copied().unwrap_or(0)
+            }
+        }
+        OpKind::Load => inputs.load(node_idx, iter, a),
+        // A store forwards the stored value (the non-address operand by
+        // convention: address first, value second).
+        OpKind::Store => b,
+        // Phi merges its (single) incoming value.
+        OpKind::Phi => a,
+        OpKind::Const => inputs.constant(node_idx),
+        OpKind::Addr => operands
+            .iter()
+            .fold(inputs.addr_base(node_idx), |acc, &x| acc.wrapping_add(x)),
+        // `OpKind` is #[non_exhaustive]; future operations default to a
+        // pass-through so the simulator stays total.
+        _ => a,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> Inputs {
+        Inputs::new(5)
+    }
+
+    #[test]
+    fn arithmetic() {
+        let i = inputs();
+        assert_eq!(eval_op(OpKind::Add, &[2, 3], 0, 0, &i), 5);
+        assert_eq!(eval_op(OpKind::Sub, &[2, 3], 0, 0, &i), -1);
+        assert_eq!(eval_op(OpKind::Mul, &[4, 3], 0, 0, &i), 12);
+        assert_eq!(eval_op(OpKind::Div, &[7, 2], 0, 0, &i), 3);
+    }
+
+    #[test]
+    fn division_by_zero_is_total() {
+        assert_eq!(eval_op(OpKind::Div, &[7, 0], 0, 0, &inputs()), 0);
+    }
+
+    #[test]
+    fn shifts_are_masked() {
+        let i = inputs();
+        assert_eq!(eval_op(OpKind::Shl, &[1, 65], 0, 0, &i), 2);
+        assert_eq!(eval_op(OpKind::Shr, &[4, 1], 0, 0, &i), 2);
+    }
+
+    #[test]
+    fn sqrt_of_negative_uses_magnitude() {
+        assert_eq!(eval_op(OpKind::Sqrt, &[-16], 0, 0, &inputs()), 4);
+    }
+
+    #[test]
+    fn compare_and_select() {
+        let i = inputs();
+        assert_eq!(eval_op(OpKind::Cmp, &[1, 2], 0, 0, &i), 1);
+        assert_eq!(eval_op(OpKind::Cmp, &[2, 1], 0, 0, &i), 0);
+        assert_eq!(eval_op(OpKind::Select, &[1, 10, 20], 0, 0, &i), 10);
+        assert_eq!(eval_op(OpKind::Select, &[0, 10, 20], 0, 0, &i), 20);
+    }
+
+    #[test]
+    fn loads_depend_on_address_and_iteration() {
+        let i = inputs();
+        assert_ne!(
+            eval_op(OpKind::Load, &[1], 3, 0, &i),
+            eval_op(OpKind::Load, &[2], 3, 0, &i)
+        );
+        assert_ne!(
+            eval_op(OpKind::Load, &[1], 3, 0, &i),
+            eval_op(OpKind::Load, &[1], 3, 1, &i)
+        );
+    }
+
+    #[test]
+    fn store_forwards_the_value_operand() {
+        assert_eq!(eval_op(OpKind::Store, &[100, 42], 0, 0, &inputs()), 42);
+    }
+
+    #[test]
+    fn wrapping_never_panics() {
+        let i = inputs();
+        for op in OpKind::ALL {
+            let _ = eval_op(op, &[i64::MAX, i64::MIN], 1, 2, &i);
+            let _ = eval_op(op, &[], 1, 2, &i);
+        }
+    }
+}

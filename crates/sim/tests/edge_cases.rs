@@ -1,0 +1,57 @@
+//! Simulator edge cases: zero iterations, deep pipelines, carried
+//! distances beyond the simulated window.
+
+use rewire_arch::{presets, OpKind};
+use rewire_dfg::Dfg;
+use rewire_mappers::{MapLimits, Mapper, PathFinderMapper};
+use rewire_sim::{machine, reference, verify_semantics, Inputs};
+use std::time::Duration;
+
+#[test]
+fn zero_iterations_produce_empty_traces() {
+    let dfg = rewire_dfg::kernels::fir();
+    let golden = reference::interpret(&dfg, &Inputs::new(0), 0);
+    assert!(golden.iter().all(|t| t.is_empty()));
+}
+
+#[test]
+fn one_iteration_runs_the_prologue_only() {
+    // Every loop-carried operand must read its initial value.
+    let mut dfg = Dfg::new("carry");
+    let ld = dfg.add_node("ld", OpKind::Load);
+    let phi = dfg.add_node("phi", OpKind::Phi);
+    let add = dfg.add_node("add", OpKind::Add);
+    dfg.add_edge(ld, add, 0).unwrap();
+    dfg.add_edge(phi, add, 0).unwrap();
+    dfg.add_edge(add, phi, 3).unwrap(); // far-carried
+    let inputs = Inputs::new(2);
+    let golden = reference::interpret(&dfg, &inputs, 2);
+    // phi reads initial(add) for both iterations (distance 3 > window).
+    assert_eq!(golden[phi.index()][0], inputs.initial(add.index()));
+    assert_eq!(golden[phi.index()][1], inputs.initial(add.index()));
+}
+
+#[test]
+fn many_iterations_stay_consistent() {
+    let cgra = presets::paper_4x4_r4();
+    let dfg = rewire_dfg::kernels::viterbi();
+    let limits = MapLimits::fast().with_ii_time_budget(Duration::from_secs(2));
+    let Some(mapping) = PathFinderMapper::new().map(&dfg, &cgra, &limits).mapping else {
+        return;
+    };
+    // 20 iterations exercises many modulo wraps of every register cell.
+    verify_semantics(&dfg, &cgra, &mapping, &Inputs::new(11), 20).unwrap();
+}
+
+#[test]
+fn machine_trace_shape_matches_request() {
+    let cgra = presets::paper_4x4_r4();
+    let dfg = rewire_dfg::kernels::fir();
+    let limits = MapLimits::fast().with_ii_time_budget(Duration::from_secs(2));
+    let Some(mapping) = PathFinderMapper::new().map(&dfg, &cgra, &limits).mapping else {
+        return;
+    };
+    let trace = machine::execute(&dfg, &cgra, &mapping, &Inputs::new(1), 7).unwrap();
+    assert_eq!(trace.len(), dfg.num_nodes());
+    assert!(trace.iter().all(|t| t.len() == 7));
+}

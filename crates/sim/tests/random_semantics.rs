@@ -1,0 +1,60 @@
+//! End-to-end property test: map random DFGs and verify that every mapping
+//! computes exactly what the DFG computes — the strongest invariant in the
+//! workspace.
+
+use proptest::prelude::*;
+use rewire_arch::presets;
+use rewire_core::RewireMapper;
+use rewire_dfg::generate::{random_dfg, RandomDfgParams};
+use rewire_mappers::{MapLimits, Mapper, PathFinderMapper};
+use rewire_sim::{verify_semantics, Inputs};
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_mappings_compute_the_dfg(seed in 0u64..5000, nodes in 6usize..20) {
+        let dfg = random_dfg(
+            &RandomDfgParams { nodes, memory_fraction: 0.15, ..Default::default() },
+            seed,
+        );
+        let cgra = presets::paper_4x4_r4();
+        let limits = MapLimits::fast().with_ii_time_budget(Duration::from_millis(700));
+        let Some(mapping) = PathFinderMapper::new().map(&dfg, &cgra, &limits).mapping else {
+            return Ok(());
+        };
+        verify_semantics(&dfg, &cgra, &mapping, &Inputs::new(seed), 5)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+    }
+
+    #[test]
+    fn rewire_mappings_compute_the_dfg(seed in 0u64..5000, nodes in 6usize..16) {
+        let dfg = random_dfg(
+            &RandomDfgParams { nodes, memory_fraction: 0.15, ..Default::default() },
+            seed,
+        );
+        let cgra = presets::paper_4x4_r4();
+        let limits = MapLimits::fast().with_ii_time_budget(Duration::from_millis(700));
+        let Some(mapping) = RewireMapper::new().map(&dfg, &cgra, &limits).mapping else {
+            return Ok(());
+        };
+        verify_semantics(&dfg, &cgra, &mapping, &Inputs::new(seed.wrapping_add(1)), 5)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+    }
+
+    #[test]
+    fn semantics_hold_on_the_two_register_fabric(seed in 0u64..5000) {
+        let dfg = random_dfg(
+            &RandomDfgParams { nodes: 12, memory_fraction: 0.1, ..Default::default() },
+            seed,
+        );
+        let cgra = presets::paper_4x4_r2();
+        let limits = MapLimits::fast().with_ii_time_budget(Duration::from_millis(700));
+        let Some(mapping) = PathFinderMapper::new().map(&dfg, &cgra, &limits).mapping else {
+            return Ok(());
+        };
+        verify_semantics(&dfg, &cgra, &mapping, &Inputs::new(seed ^ 0xFF), 6)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+    }
+}

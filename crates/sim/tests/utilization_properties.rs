@@ -1,0 +1,55 @@
+//! Utilization invariants across random mapped kernels.
+
+use proptest::prelude::*;
+use rewire_arch::presets;
+use rewire_dfg::generate::{random_dfg, RandomDfgParams};
+use rewire_mappers::{MapLimits, Mapper, PathFinderMapper};
+use rewire_sim::config::Configuration;
+use rewire_sim::Utilization;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Utilization fractions are always in [0, 1], and the FU fraction is
+    /// exactly nodes / (PEs · II).
+    #[test]
+    fn utilization_bounds(seed in 0u64..4000, nodes in 6usize..18) {
+        let dfg = random_dfg(
+            &RandomDfgParams { nodes, memory_fraction: 0.15, ..Default::default() },
+            seed,
+        );
+        let cgra = presets::paper_4x4_r4();
+        let limits = MapLimits::fast().with_ii_time_budget(Duration::from_millis(600));
+        let Some(m) = PathFinderMapper::new().map(&dfg, &cgra, &limits).mapping else {
+            return Ok(());
+        };
+        let cfg = Configuration::from_mapping(&dfg, &m);
+        let u = Utilization::of(&cfg, &cgra);
+        for v in [u.fu, u.links, u.regs] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        let expect = dfg.num_nodes() as f64 / (cgra.num_pes() as f64 * m.ii() as f64);
+        prop_assert!((u.fu - expect).abs() < 1e-9);
+    }
+
+    /// Configuration control words never exceed physical capacity.
+    #[test]
+    fn configuration_fits_the_fabric(seed in 0u64..4000) {
+        let dfg = random_dfg(
+            &RandomDfgParams { nodes: 12, memory_fraction: 0.1, ..Default::default() },
+            seed,
+        );
+        let cgra = presets::paper_4x4_r2();
+        let limits = MapLimits::fast().with_ii_time_budget(Duration::from_millis(600));
+        let Some(m) = PathFinderMapper::new().map(&dfg, &cgra, &limits).mapping else {
+            return Ok(());
+        };
+        let cfg = Configuration::from_mapping(&dfg, &m);
+        let ii = cfg.ii() as usize;
+        let (fu, links, regs) = cfg.utilization();
+        prop_assert!(fu <= cgra.num_pes() * ii);
+        prop_assert!(links <= cgra.num_links() * ii);
+        prop_assert!(regs <= cgra.num_pes() * cgra.regs_per_pe() as usize * ii);
+    }
+}

@@ -1,0 +1,44 @@
+//! Sweep the whole kernel suite on one architecture and print a Fig-5-style
+//! comparison row per kernel (MII and achieved II per mapper).
+//!
+//! Run with: `cargo run --release --example compare_mappers [-- <arch>]`
+//! where `<arch>` is one of `4x4r4` (default), `4x4r2`, `4x4r1`, `8x8r4`.
+
+use rewire::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    let arch = std::env::args().nth(1).unwrap_or_else(|| "4x4r4".into());
+    let cgra = match arch.as_str() {
+        "4x4r4" => presets::paper_4x4_r4(),
+        "4x4r2" => presets::paper_4x4_r2(),
+        "4x4r1" => presets::paper_4x4_r1(),
+        "8x8r4" => presets::paper_8x8_r4(),
+        other => {
+            eprintln!("unknown architecture `{other}`; use 4x4r4|4x4r2|4x4r1|8x8r4");
+            std::process::exit(2);
+        }
+    };
+    println!("architecture: {cgra}");
+    let limits = MapLimits::fast().with_ii_time_budget(Duration::from_secs(2));
+
+    println!(
+        "{:<12} {:>4} {:>7} {:>5} {:>4}",
+        "kernel", "MII", "Rewire", "PF*", "SA"
+    );
+    let fmt = |o: &MapOutcome| o.stats.achieved_ii.map_or("-".into(), |ii| ii.to_string());
+    for (name, dfg) in kernels::all() {
+        let Some(mii) = dfg.mii(&cgra) else {
+            continue;
+        };
+        let rewire = RewireMapper::new().map(&dfg, &cgra, &limits);
+        let pf = PathFinderMapper::new().map(&dfg, &cgra, &limits);
+        let sa = SaMapper::new().map(&dfg, &cgra, &limits);
+        println!(
+            "{name:<12} {mii:>4} {:>7} {:>5} {:>4}",
+            fmt(&rewire),
+            fmt(&pf),
+            fmt(&sa)
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Mini architecture design-space exploration: sweep register budgets and
+//! interconnect richness on a 4×4 fabric and report achieved II plus fabric
+//! utilization per kernel — the downstream flow this library is built for.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use rewire::prelude::*;
+use rewire::sim::config::Configuration;
+use rewire::sim::Utilization;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernels_under_test = ["fir", "atax", "gesummv"];
+    let limits = MapLimits::fast().with_ii_time_budget(Duration::from_secs(2));
+
+    println!(
+        "{:<22} {:>8} {:>8} {:>8}",
+        "fabric", "fir", "atax", "gesummv"
+    );
+    for (label, regs, diagonals) in [
+        ("4x4 r1", 1u8, false),
+        ("4x4 r2", 2, false),
+        ("4x4 r4", 4, false),
+        ("4x4 r2 + diagonals", 2, true),
+        ("4x4 r4 + diagonals", 4, true),
+    ] {
+        let cgra = CgraBuilder::new(4, 4)
+            .regs_per_pe(regs)
+            .memory_banks(2)
+            .memory_columns([0])
+            .diagonals(diagonals)
+            .build()?;
+        print!("{label:<22}");
+        for name in kernels_under_test {
+            let dfg = kernels::by_name(name).expect("known kernel");
+            let outcome = RewireMapper::new().map(&dfg, &cgra, &limits);
+            match &outcome.mapping {
+                Some(m) => {
+                    let cfg = Configuration::from_mapping(&dfg, m);
+                    let util = Utilization::of(&cfg, &cgra);
+                    print!(" {:>3}/{:>3.0}%", m.ii(), util.fu * 100.0);
+                }
+                None => print!(" {:>8}", "-"),
+            }
+        }
+        println!();
+    }
+    println!("\ncells are II / FU utilization; lower II and higher utilization are better");
+    Ok(())
+}

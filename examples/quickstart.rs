@@ -1,0 +1,44 @@
+//! Quickstart: map one kernel onto the paper's baseline CGRA with all
+//! three mappers and compare the achieved IIs.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rewire::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    let cgra = presets::paper_4x4_r4();
+    let dfg = kernels::gesummv();
+    let limits = MapLimits::fast().with_ii_time_budget(Duration::from_secs(2));
+
+    println!("architecture: {cgra}");
+    println!("kernel:       {dfg}");
+    println!("MII:          {}", dfg.mii(&cgra).expect("mappable"));
+    println!();
+
+    let mappers: Vec<Box<dyn Mapper>> = vec![
+        Box::new(RewireMapper::new()),
+        Box::new(PathFinderMapper::new()),
+        Box::new(SaMapper::new()),
+    ];
+    for mapper in mappers {
+        let outcome = mapper.map(&dfg, &cgra, &limits);
+        match &outcome.mapping {
+            Some(mapping) => {
+                assert!(mapping.is_valid(&dfg, &cgra));
+                println!(
+                    "{:>7}: II {} in {:?} ({} remapping iterations)",
+                    mapper.name(),
+                    mapping.ii(),
+                    outcome.stats.elapsed,
+                    outcome.stats.remap_iterations,
+                );
+            }
+            None => println!(
+                "{:>7}: failed within budget (explored {} IIs)",
+                mapper.name(),
+                outcome.stats.iis_explored
+            ),
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! API-guideline conformance checks (C-SEND-SYNC, C-COMMON-TRAITS): the
+//! data types downstream users hold across threads must be Send + Sync.
+
+use rewire::prelude::*;
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn core_types_are_send_and_sync() {
+    assert_send_sync::<Cgra>();
+    assert_send_sync::<Dfg>();
+    assert_send_sync::<Mapping>();
+    assert_send_sync::<Mrrg>();
+    assert_send_sync::<Occupancy>();
+    assert_send_sync::<RewireMapper>();
+    assert_send_sync::<PathFinderMapper>();
+    assert_send_sync::<SaMapper>();
+    assert_send_sync::<MapLimits>();
+    assert_send_sync::<MapStats>();
+    assert_send_sync::<RewireStats>();
+    assert_send_sync::<Inputs>();
+}
+
+#[test]
+fn errors_are_well_behaved() {
+    fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+    assert_error::<rewire::arch::BuildCgraError>();
+    assert_error::<rewire::dfg::GraphError>();
+    assert_error::<rewire::dfg::ParseDfgError>();
+    assert_error::<rewire::mrrg::RouteError>();
+    assert_error::<rewire::sim::SimError>();
+}
+
+#[test]
+fn mappers_can_run_on_worker_threads() {
+    use std::time::Duration;
+    let handles: Vec<_> = ["fir", "atax"]
+        .into_iter()
+        .map(|name| {
+            std::thread::spawn(move || {
+                let cgra = presets::paper_4x4_r4();
+                let dfg = kernels::by_name(name).unwrap();
+                let limits =
+                    MapLimits::fast().with_ii_time_budget(Duration::from_millis(800));
+                let out = PathFinderMapper::new().map(&dfg, &cgra, &limits);
+                out.mapping.map(|m| {
+                    assert!(m.is_valid(&dfg, &cgra));
+                    m.ii()
+                })
+            })
+        })
+        .collect();
+    for h in handles {
+        let _ = h.join().expect("no panics on worker threads");
+    }
+}

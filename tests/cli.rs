@@ -1,0 +1,100 @@
+//! Integration tests of the `rewire-map` CLI binary.
+
+use std::process::Command;
+
+fn rewire_map() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rewire-map"))
+}
+
+#[test]
+fn maps_a_kernel_and_reports() {
+    let out = rewire_map()
+        .args(["--kernel", "fir", "--budget-ms", "2000", "--verify", "4"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("mapped at II"));
+    assert!(stdout.contains("semantics verified"));
+}
+
+#[test]
+fn unknown_kernel_is_a_usage_error() {
+    let out = rewire_map()
+        .args(["--kernel", "not-a-kernel"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn missing_input_prints_usage() {
+    let out = rewire_map().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn maps_a_dfg_file_on_a_custom_fabric() {
+    let dir = std::env::temp_dir().join("rewire-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tiny.dfg");
+    std::fs::write(
+        &path,
+        "dfg tiny\nnode a ld\nnode b add\nnode c st\nedge a b\nedge b c\n",
+    )
+    .unwrap();
+    let out = rewire_map()
+        .args([
+            "--dfg",
+            path.to_str().unwrap(),
+            "--rows",
+            "3",
+            "--cols",
+            "3",
+            "--regs",
+            "2",
+            "--banks",
+            "1",
+            "--mem-cols",
+            "0",
+            "--mapper",
+            "pf",
+            "--show-grid",
+        ])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("slot 0"), "grid rendered: {stdout}");
+}
+
+#[test]
+fn dot_export_writes_a_file() {
+    let dir = std::env::temp_dir().join("rewire-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dot = dir.join("out.dot");
+    let out = rewire_map()
+        .args([
+            "--kernel",
+            "atax",
+            "--dot",
+            dot.to_str().unwrap(),
+            "--budget-ms",
+            "1500",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&dot).unwrap();
+    assert!(text.starts_with("digraph"));
+}

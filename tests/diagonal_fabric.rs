@@ -1,0 +1,44 @@
+//! End-to-end test on a diagonal-interconnect fabric: mapping and
+//! semantics hold on richer NoCs too.
+
+use rewire::prelude::*;
+use std::time::Duration;
+
+#[test]
+fn kernels_map_and_execute_on_a_diagonal_fabric() {
+    let cgra = CgraBuilder::new(4, 4)
+        .regs_per_pe(2)
+        .memory_banks(2)
+        .memory_columns([0])
+        .diagonals(true)
+        .build()
+        .unwrap();
+    let dfg = kernels::fir();
+    let limits = MapLimits::fast().with_ii_time_budget(Duration::from_secs(2));
+    let outcome = PathFinderMapper::new().map(&dfg, &cgra, &limits);
+    let mapping = outcome.mapping.expect("fir maps on the richer fabric");
+    assert!(mapping.is_valid(&dfg, &cgra));
+    verify_semantics(&dfg, &cgra, &mapping, &Inputs::new(3), 5).expect("semantics hold");
+}
+
+#[test]
+fn diagonals_never_hurt_achievable_ii() {
+    let plain = presets::paper_4x4_r2();
+    let rich = CgraBuilder::new(4, 4)
+        .regs_per_pe(2)
+        .memory_banks(2)
+        .memory_columns([0])
+        .diagonals(true)
+        .build()
+        .unwrap();
+    let dfg = kernels::atax();
+    let limits = MapLimits::fast().with_ii_time_budget(Duration::from_secs(2));
+    let a = PathFinderMapper::new().map(&dfg, &plain, &limits);
+    let b = PathFinderMapper::new().map(&dfg, &rich, &limits);
+    if let (Some(ia), Some(ib)) = (a.stats.achieved_ii, b.stats.achieved_ii) {
+        assert!(
+            ib <= ia + 1,
+            "richer NoC should not map much worse: {ib} vs {ia}"
+        );
+    }
+}

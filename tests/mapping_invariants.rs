@@ -1,0 +1,69 @@
+//! Property-based integration tests: mapping invariants over randomly
+//! generated DFGs.
+
+use proptest::prelude::*;
+use rewire::dfg::generate::{random_dfg, RandomDfgParams};
+use rewire::prelude::*;
+use std::time::Duration;
+
+fn params(nodes: usize, mem: f64) -> RandomDfgParams {
+    RandomDfgParams {
+        nodes,
+        memory_fraction: mem,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Any mapping Rewire returns validates cleanly, for arbitrary DFGs.
+    #[test]
+    fn rewire_output_always_validates(seed in 0u64..5000, nodes in 8usize..22) {
+        let dfg = random_dfg(&params(nodes, 0.15), seed);
+        let cgra = presets::paper_4x4_r4();
+        let limits = MapLimits::fast().with_ii_time_budget(Duration::from_millis(600));
+        let outcome = RewireMapper::new().map(&dfg, &cgra, &limits);
+        if let Some(m) = outcome.mapping {
+            prop_assert!(m.is_valid(&dfg, &cgra));
+            prop_assert!(m.ii() >= outcome.stats.mii);
+        }
+    }
+
+    /// The baselines obey the same contract.
+    #[test]
+    fn baseline_outputs_always_validate(seed in 0u64..5000, nodes in 8usize..18) {
+        let dfg = random_dfg(&params(nodes, 0.1), seed);
+        let cgra = presets::paper_4x4_r4();
+        let limits = MapLimits::fast().with_ii_time_budget(Duration::from_millis(400));
+        for mapper in [&PathFinderMapper::new() as &dyn Mapper, &SaMapper::new()] {
+            let outcome = mapper.map(&dfg, &cgra, &limits);
+            if let Some(m) = outcome.mapping {
+                prop_assert!(m.is_valid(&dfg, &cgra), "{}", mapper.name());
+            }
+        }
+    }
+
+    /// MII is a true lower bound: no mapper ever returns a smaller II.
+    #[test]
+    fn mii_is_a_lower_bound(seed in 0u64..5000) {
+        let dfg = random_dfg(&params(16, 0.2), seed);
+        let cgra = presets::paper_4x4_r2();
+        let mii = dfg.mii(&cgra).unwrap();
+        let limits = MapLimits::fast().with_ii_time_budget(Duration::from_millis(400));
+        let outcome = RewireMapper::new().map(&dfg, &cgra, &limits);
+        if let Some(ii) = outcome.stats.achieved_ii {
+            prop_assert!(ii >= mii);
+        }
+    }
+
+    /// Unrolling preserves validity and scales node count.
+    #[test]
+    fn unrolling_preserves_structure(seed in 0u64..5000, factor in 1u32..4) {
+        let dfg = random_dfg(&params(12, 0.1), seed);
+        let u = dfg.unroll(factor);
+        prop_assert!(u.validate().is_ok());
+        prop_assert_eq!(u.num_nodes(), dfg.num_nodes() * factor as usize);
+        prop_assert_eq!(u.num_edges(), dfg.num_edges() * factor as usize);
+    }
+}

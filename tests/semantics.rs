@@ -1,0 +1,67 @@
+//! Golden-model integration tests: every mapping any mapper produces must
+//! compute exactly what the DFG computes, cycle by cycle.
+
+use rewire::prelude::*;
+use rewire::sim::config::Configuration;
+use std::time::Duration;
+
+fn limits(ms: u64) -> MapLimits {
+    MapLimits::fast().with_ii_time_budget(Duration::from_millis(ms))
+}
+
+#[test]
+fn rewire_mappings_execute_correctly() {
+    let cgra = presets::paper_4x4_r4();
+    for name in ["fir", "atax", "bicg", "gesummv", "viterbi", "jacobi2d"] {
+        let dfg = kernels::by_name(name).unwrap();
+        let Some(mapping) = RewireMapper::new().map(&dfg, &cgra, &limits(2500)).mapping else {
+            continue;
+        };
+        verify_semantics(&dfg, &cgra, &mapping, &Inputs::new(7), 6)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn baseline_mappings_execute_correctly() {
+    let cgra = presets::paper_4x4_r2();
+    for name in ["fir", "atax", "mvt"] {
+        let dfg = kernels::by_name(name).unwrap();
+        for mapper in [&PathFinderMapper::new() as &dyn Mapper, &SaMapper::new()] {
+            let Some(mapping) = mapper.map(&dfg, &cgra, &limits(2500)).mapping else {
+                continue;
+            };
+            verify_semantics(&dfg, &cgra, &mapping, &Inputs::new(13), 5)
+                .unwrap_or_else(|e| panic!("{name}/{}: {e}", mapper.name()));
+        }
+    }
+}
+
+#[test]
+fn semantics_hold_across_input_seeds() {
+    let cgra = presets::paper_4x4_r4();
+    let dfg = kernels::fir();
+    let mapping = RewireMapper::new()
+        .map(&dfg, &cgra, &limits(2000))
+        .mapping
+        .expect("fir maps");
+    for seed in 0..8 {
+        verify_semantics(&dfg, &cgra, &mapping, &Inputs::new(seed), 4)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn configuration_covers_the_whole_mapping() {
+    let cgra = presets::paper_4x4_r4();
+    let dfg = kernels::atax();
+    let mapping = RewireMapper::new()
+        .map(&dfg, &cgra, &limits(2000))
+        .mapping
+        .expect("atax maps");
+    let cfg = Configuration::from_mapping(&dfg, &mapping);
+    let (fu, links, regs) = cfg.utilization();
+    assert_eq!(fu, dfg.num_nodes());
+    assert!(links + regs > 0);
+    assert_eq!(cfg.ii(), mapping.ii());
+}
