@@ -195,7 +195,7 @@ mod tests {
         let cgra = CgraBuilder::new(4, 4).diagonals(true).build().unwrap();
         assert_eq!(cgra.num_links(), 48 + 4 * 9);
         // Corner PE gains exactly one diagonal.
-        let corner = cgra.pe_at(crate::Coord::new(0, 0).into()).unwrap().id();
+        let corner = cgra.pe_at(crate::Coord::new(0, 0)).unwrap().id();
         assert_eq!(cgra.links_from(corner).count(), 3);
     }
 

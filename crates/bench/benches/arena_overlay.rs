@@ -1,0 +1,77 @@
+//! Micro-benchmark of the router's congestion-penalty overlay: the flat
+//! arena-indexed `Vec<f64>` that replaced a `HashMap<Resource, f64>`. The
+//! overlay is consulted once per relaxation in the router's layered DP, so
+//! lookup cost multiplies into everything.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rewire_arch::presets;
+use rewire_mrrg::{Mrrg, Resource};
+use std::collections::HashMap;
+
+fn bench_overlay(c: &mut Criterion) {
+    let cgra = presets::paper_8x8_r4();
+    let mrrg = Mrrg::new(&cgra, 4);
+    let num_cells = mrrg.num_cells();
+    // A realistic overlay: penalties on a scattered ~3% of all cells, the
+    // shape the router produces after a few failed attempts.
+    let penalised: Vec<usize> = (0..num_cells).step_by(31).collect();
+    let probe: Vec<Resource> = (0..num_cells)
+        .step_by(7)
+        .map(|i| mrrg.resource_of(i))
+        .collect();
+
+    let mut flat = vec![0.0f64; num_cells];
+    for &i in &penalised {
+        flat[i] = 8.0;
+    }
+    let mut hashed: HashMap<Resource, f64> = HashMap::new();
+    for &i in &penalised {
+        hashed.insert(mrrg.resource_of(i), 8.0);
+    }
+
+    let mut group = c.benchmark_group("overlay");
+    group.sample_size(200);
+    group.bench_function("flat_vec_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &res in &probe {
+                acc += flat[mrrg.index_of(black_box(res))];
+            }
+            acc
+        })
+    });
+    group.bench_function("hashmap_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &res in &probe {
+                acc += hashed.get(&black_box(res)).copied().unwrap_or(0.0);
+            }
+            acc
+        })
+    });
+    group.bench_function("flat_vec_build_and_clear", |b| {
+        let mut overlay = vec![0.0f64; num_cells];
+        b.iter(|| {
+            for &i in &penalised {
+                overlay[i] += 8.0;
+            }
+            for &i in &penalised {
+                overlay[i] = 0.0;
+            }
+            overlay.len()
+        })
+    });
+    group.bench_function("hashmap_build_and_drop", |b| {
+        b.iter(|| {
+            let mut overlay: HashMap<Resource, f64> = HashMap::new();
+            for &res in &probe[..penalised.len().min(probe.len())] {
+                *overlay.entry(res).or_insert(0.0) += 8.0;
+            }
+            overlay.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overlay);
+criterion_main!(benches);

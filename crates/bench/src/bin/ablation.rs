@@ -4,19 +4,23 @@
 //! * Algorithm 2 search budgets (tiny verification budget vs default),
 //! * amendment restarts on vs off.
 //!
-//! Usage: `cargo run -p rewire-bench --release --bin ablation [seconds_per_ii]`
+//! Usage: `cargo run -p rewire-bench --release --bin ablation [seconds_per_ii] [--jobs N]`
 
 use rewire_arch::presets;
+use rewire_bench::{parallel_map, parse_cli};
 use rewire_core::{RewireConfig, RewireMapper};
 use rewire_dfg::kernels;
 use rewire_mappers::{MapLimits, Mapper};
 use std::time::Duration;
 
+fn achieved(out: &rewire_mappers::MapOutcome) -> String {
+    out.stats
+        .achieved_ii
+        .map_or("-".into(), |ii| ii.to_string())
+}
+
 fn main() {
-    let secs: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.5);
+    let (secs, jobs) = parse_cli(1.5);
     let cgra = presets::paper_4x4_r4();
     let limits =
         MapLimits::benchmark().with_ii_time_budget(Duration::from_millis((secs * 1000.0) as u64));
@@ -29,22 +33,26 @@ fn main() {
         print!(" {:>6}", format!("α={a}"));
     }
     println!();
-    for name in suite {
+    // Every (kernel, variant) run is independent, so each ablation table
+    // fans its cell computations out over the worker pool and prints rows
+    // once all cells for the table are back (input order is preserved).
+    let alpha_cells: Vec<(&str, usize)> = suite
+        .iter()
+        .flat_map(|&name| alphas.iter().map(move |&alpha| (name, alpha)))
+        .collect();
+    let alpha_iis = parallel_map(&alpha_cells, jobs, |&(name, alpha)| {
         let dfg = kernels::by_name(name).unwrap();
+        let config = RewireConfig {
+            alpha,
+            initial_cluster_size: alpha.min(3),
+            ..Default::default()
+        };
+        achieved(&RewireMapper::with_config(config).map(&dfg, &cgra, &limits))
+    });
+    for (row, name) in suite.iter().enumerate() {
         print!("{name:<10}");
-        for alpha in alphas {
-            let config = RewireConfig {
-                alpha,
-                initial_cluster_size: alpha.min(3),
-                ..Default::default()
-            };
-            let out = RewireMapper::with_config(config).map(&dfg, &cgra, &limits);
-            print!(
-                " {:>6}",
-                out.stats
-                    .achieved_ii
-                    .map_or("-".into(), |ii| ii.to_string())
-            );
+        for col in 0..alphas.len() {
+            print!(" {:>6}", alpha_iis[row * alphas.len() + col]);
         }
         println!();
     }
@@ -54,7 +62,7 @@ fn main() {
         "{:<10} {:>8} {:>8} {:>8}",
         "kernel", "default", "verif=8", "steps=1k"
     );
-    for name in suite {
+    let budget_rows = parallel_map(&suite, jobs, |&name| {
         let dfg = kernels::by_name(name).unwrap();
         let default = RewireMapper::new().map(&dfg, &cgra, &limits);
         let tiny_verif = RewireMapper::with_config(RewireConfig {
@@ -67,20 +75,19 @@ fn main() {
             ..Default::default()
         })
         .map(&dfg, &cgra, &limits);
-        let f = |o: &rewire_mappers::MapOutcome| {
-            o.stats.achieved_ii.map_or("-".into(), |ii| ii.to_string())
-        };
-        println!(
-            "{name:<10} {:>8} {:>8} {:>8}",
-            f(&default),
-            f(&tiny_verif),
-            f(&tiny_steps)
-        );
+        (
+            achieved(&default),
+            achieved(&tiny_verif),
+            achieved(&tiny_steps),
+        )
+    });
+    for (name, (default, tiny_verif, tiny_steps)) in suite.iter().zip(&budget_rows) {
+        println!("{name:<10} {default:>8} {tiny_verif:>8} {tiny_steps:>8}");
     }
 
     println!("\n== ablation: restarts per II ==");
     println!("{:<10} {:>9} {:>9}", "kernel", "restarts", "single");
-    for name in suite {
+    let restart_rows = parallel_map(&suite, jobs, |&name| {
         let dfg = kernels::by_name(name).unwrap();
         let with = RewireMapper::new().map(&dfg, &cgra, &limits);
         let single = RewireMapper::with_config(RewireConfig {
@@ -88,9 +95,9 @@ fn main() {
             ..Default::default()
         })
         .map(&dfg, &cgra, &limits);
-        let f = |o: &rewire_mappers::MapOutcome| {
-            o.stats.achieved_ii.map_or("-".into(), |ii| ii.to_string())
-        };
-        println!("{name:<10} {:>9} {:>9}", f(&with), f(&single));
+        (achieved(&with), achieved(&single))
+    });
+    for (name, (with, single)) in suite.iter().zip(&restart_rows) {
+        println!("{name:<10} {with:>9} {single:>9}");
     }
 }

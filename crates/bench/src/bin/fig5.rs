@@ -1,17 +1,14 @@
 //! Regenerates Fig 5: mapping quality (II) of Rewire vs PF* vs SA on the
 //! paper's four CGRA configurations.
 //!
-//! Usage: `cargo run -p rewire-bench --release --bin fig5 [seconds_per_ii]`
+//! Usage: `cargo run -p rewire-bench --release --bin fig5 [seconds_per_ii] [--jobs N]`
 
-use rewire_bench::{fig5_workloads, print_fig5, run_workloads, MapperKind};
+use rewire_bench::{fig5_workloads, parse_cli, print_fig5, run_workloads_jobs, MapperKind};
 
 fn main() {
-    let secs: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2.0);
-    eprintln!("fig5: per-II budget {secs}s per mapper");
-    let rows = run_workloads(
+    let (secs, jobs) = parse_cli(2.0);
+    eprintln!("fig5: per-II budget {secs}s per mapper, {jobs} job(s)");
+    let rows = run_workloads_jobs(
         &fig5_workloads(),
         &[
             MapperKind::Rewire,
@@ -19,6 +16,7 @@ fn main() {
             MapperKind::Annealing,
         ],
         secs,
+        jobs,
         |row| {
             eprintln!(
                 "  {} / {}: mii={} {:?}",

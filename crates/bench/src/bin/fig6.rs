@@ -3,17 +3,14 @@
 //! budget at a failing II; see DESIGN.md §2 on the wall-clock
 //! substitution).
 //!
-//! Usage: `cargo run -p rewire-bench --release --bin fig6 [seconds_per_ii]`
+//! Usage: `cargo run -p rewire-bench --release --bin fig6 [seconds_per_ii] [--jobs N]`
 
-use rewire_bench::{fig6_workloads, print_fig6, run_workloads, MapperKind};
+use rewire_bench::{fig6_workloads, parse_cli, print_fig6, run_workloads_jobs, MapperKind};
 
 fn main() {
-    let secs: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2.0);
-    eprintln!("fig6: per-II budget {secs}s per mapper (equal-budget mode)");
-    let rows = run_workloads(
+    let (secs, jobs) = parse_cli(2.0);
+    eprintln!("fig6: per-II budget {secs}s per mapper (equal-budget mode), {jobs} job(s)");
+    let rows = run_workloads_jobs(
         &fig6_workloads(),
         &[
             MapperKind::Rewire,
@@ -21,6 +18,7 @@ fn main() {
             MapperKind::Annealing,
         ],
         secs,
+        jobs,
         |row| {
             eprintln!(
                 "  {} / {}: {:?}",

@@ -2,20 +2,18 @@
 //! and SA on 4×4 CGRAs with one and with four registers per PE, averaged
 //! per explored II.
 //!
-//! Usage: `cargo run -p rewire-bench --release --bin table1 [seconds_per_ii]`
+//! Usage: `cargo run -p rewire-bench --release --bin table1 [seconds_per_ii] [--jobs N]`
 
-use rewire_bench::{print_table1, run_workloads, table1_workloads, MapperKind};
+use rewire_bench::{parse_cli, print_table1, run_workloads_jobs, table1_workloads, MapperKind};
 
 fn main() {
-    let secs: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2.0);
-    eprintln!("table1: per-II budget {secs}s per mapper");
-    let rows = run_workloads(
+    let (secs, jobs) = parse_cli(2.0);
+    eprintln!("table1: per-II budget {secs}s per mapper, {jobs} job(s)");
+    let rows = run_workloads_jobs(
         &table1_workloads(),
         &[MapperKind::PathFinder, MapperKind::Annealing],
         secs,
+        jobs,
         |row| {
             eprintln!(
                 "  {} / {}: {:?}",

@@ -3,6 +3,8 @@
 use crate::workloads::Workload;
 use rewire_core::RewireMapper;
 use rewire_mappers::{MapLimits, Mapper, PathFinderConfig, PathFinderMapper, SaMapper};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::time::Duration;
 
 /// The three mappers of the evaluation.
@@ -79,9 +81,63 @@ pub fn run_workloads(
     workloads: &[Workload],
     mappers: &[MapperKind],
     seconds_per_ii: f64,
+    progress: impl FnMut(&Row),
+) -> Vec<Row> {
+    run_workloads_jobs(workloads, mappers, seconds_per_ii, 1, progress)
+}
+
+/// One `(kernel, architecture, mapper)` unit of work for the fan-out.
+struct Task<'a> {
+    row: usize,
+    slot: usize,
+    kind: MapperKind,
+    dfg: &'a rewire_dfg::Dfg,
+    cgra: &'a rewire_arch::Cgra,
+    label: &'static str,
+    limits: MapLimits,
+}
+
+impl Task<'_> {
+    fn run(&self) -> MapperResult {
+        let mapper = self.kind.build();
+        let outcome = mapper.map(self.dfg, self.cgra, &self.limits);
+        if let Some(m) = &outcome.mapping {
+            assert!(
+                m.is_valid(self.dfg, self.cgra),
+                "{} on {}",
+                self.dfg.name(),
+                self.label
+            );
+        }
+        MapperResult {
+            mapper: self.kind.label(),
+            achieved_ii: outcome.stats.achieved_ii,
+            elapsed: outcome.stats.elapsed,
+            iterations_per_ii: outcome.stats.remap_iterations_per_ii(),
+        }
+    }
+}
+
+/// [`run_workloads`] with `jobs` OS threads fanning out over every
+/// `(kernel, architecture, mapper)` combination.
+///
+/// Work is pulled from a shared atomic index, so thread scheduling decides
+/// only *who* runs a combination — each combination itself is mapped with
+/// exactly the same limits and seed as in the serial runner, and the
+/// returned rows are assembled in the serial order regardless of completion
+/// order. `progress` fires on the calling thread as rows *complete*, which
+/// under `jobs > 1` may be out of row order.
+pub fn run_workloads_jobs(
+    workloads: &[Workload],
+    mappers: &[MapperKind],
+    seconds_per_ii: f64,
+    jobs: usize,
     mut progress: impl FnMut(&Row),
 ) -> Vec<Row> {
-    let mut rows = Vec::new();
+    // Flatten into row skeletons (one per kernel × architecture) and
+    // per-mapper tasks, preserving the serial iteration order.
+    let mut skeletons: Vec<Row> = Vec::new();
+    let mut tasks: Vec<Task> = Vec::new();
     for w in workloads {
         let limits = MapLimits::benchmark().with_ii_time_budget(Duration::from_millis(
             (seconds_per_ii * w.budget_scale * 1000.0) as u64,
@@ -90,31 +146,139 @@ pub fn run_workloads(
             let Some(mii) = dfg.mii(&w.cgra) else {
                 continue;
             };
-            let mut results = Vec::new();
-            for &kind in mappers {
-                let mapper = kind.build();
-                let outcome = mapper.map(dfg, &w.cgra, &limits);
-                if let Some(m) = &outcome.mapping {
-                    assert!(m.is_valid(dfg, &w.cgra), "{} on {}", dfg.name(), w.label);
-                }
-                results.push(MapperResult {
-                    mapper: kind.label(),
-                    achieved_ii: outcome.stats.achieved_ii,
-                    elapsed: outcome.stats.elapsed,
-                    iterations_per_ii: outcome.stats.remap_iterations_per_ii(),
-                });
-            }
-            let row = Row {
+            let row = skeletons.len();
+            skeletons.push(Row {
                 config: w.label,
                 kernel: dfg.name().to_string(),
                 mii,
-                results,
-            };
-            progress(&row);
-            rows.push(row);
+                results: Vec::new(),
+            });
+            for (slot, &kind) in mappers.iter().enumerate() {
+                tasks.push(Task {
+                    row,
+                    slot,
+                    kind,
+                    dfg,
+                    cgra: &w.cgra,
+                    label: w.label,
+                    limits,
+                });
+            }
         }
     }
-    rows
+
+    if jobs <= 1 {
+        // Serial path: run in order, fire progress per finished row.
+        for task in &tasks {
+            let result = task.run();
+            skeletons[task.row].results.push(result);
+            if skeletons[task.row].results.len() == mappers.len() {
+                progress(&skeletons[task.row]);
+            }
+        }
+        return skeletons;
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, MapperResult)>();
+    let mut slots: Vec<Vec<Option<MapperResult>>> =
+        vec![vec![None; mappers.len()]; skeletons.len()];
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(tasks.len().max(1)) {
+            let tx = tx.clone();
+            let next = &next;
+            let tasks = &tasks;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(task) = tasks.get(i) else { break };
+                if tx.send((i, task.run())).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        // Collect on the calling thread; fire progress as rows fill up.
+        for (i, result) in rx {
+            let task = &tasks[i];
+            slots[task.row][task.slot] = Some(result);
+            if slots[task.row].iter().all(Option::is_some) {
+                let results: Vec<MapperResult> = slots[task.row]
+                    .iter_mut()
+                    .map(|s| s.take().expect("slot just checked full"))
+                    .collect();
+                skeletons[task.row].results = results;
+                progress(&skeletons[task.row]);
+            }
+        }
+    });
+    skeletons
+}
+
+/// Applies `f` to every item on `jobs` threads, returning results in input
+/// order. With `jobs <= 1` this is a plain serial map. Used by the
+/// experiment binaries for coarse-grained fan-out of independent mapper
+/// runs (each item's computation must not depend on the others).
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(items.len()) {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                if tx.send((i, f(item))).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in rx {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("every index visited exactly once"))
+        .collect()
+}
+
+/// Parses the common experiment-binary CLI: an optional positional per-II
+/// budget in seconds plus an optional `--jobs N` (or `--jobs=N`) flag.
+/// Returns `(seconds_per_ii, jobs)`.
+pub fn parse_cli(default_secs: f64) -> (f64, usize) {
+    parse_cli_from(std::env::args().skip(1), default_secs)
+}
+
+fn parse_cli_from(args: impl IntoIterator<Item = String>, default_secs: f64) -> (f64, usize) {
+    let mut secs = default_secs;
+    let mut jobs = 1usize;
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            jobs = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--jobs needs a positive integer");
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            jobs = v.parse().expect("--jobs needs a positive integer");
+        } else if let Ok(v) = arg.parse::<f64>() {
+            secs = v;
+        } else {
+            panic!("unrecognised argument {arg:?} (expected [seconds_per_ii] [--jobs N])");
+        }
+    }
+    (secs, jobs.max(1))
 }
 
 #[cfg(test)]
@@ -141,6 +305,57 @@ mod tests {
             assert_eq!(row.results[0].mapper, "PF*");
             assert!(row.mii >= 1);
         }
+    }
+
+    #[test]
+    fn parallel_runner_matches_serial() {
+        let mk = || Workload {
+            label: "test",
+            budget_scale: 1.0,
+            cgra: presets::paper_4x4_r4(),
+            kernels: vec![kernels::fir(), kernels::atax()],
+        };
+        let serial = run_workloads(&[mk()], &[MapperKind::PathFinder], 0.5, |_| {});
+        let mut seen = 0;
+        let parallel =
+            run_workloads_jobs(&[mk()], &[MapperKind::PathFinder], 0.5, 4, |_| seen += 1);
+        assert_eq!(seen, serial.len());
+        assert_eq!(parallel.len(), serial.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.config, p.config);
+            assert_eq!(s.kernel, p.kernel, "row order is the serial order");
+            assert_eq!(s.mii, p.mii);
+            assert_eq!(s.results.len(), p.results.len());
+            for (sr, pr) in s.results.iter().zip(&p.results) {
+                assert_eq!(sr.mapper, pr.mapper);
+                assert_eq!(sr.achieved_ii, pr.achieved_ii);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..40).collect();
+        let doubled = parallel_map(&items, 8, |&x| 2 * x);
+        assert_eq!(doubled, (0..40).map(|x| 2 * x).collect::<Vec<_>>());
+        let serial = parallel_map(&items, 1, |&x| 2 * x);
+        assert_eq!(doubled, serial);
+    }
+
+    #[test]
+    fn cli_parsing_accepts_secs_and_jobs() {
+        let arg = |s: &str| s.to_string();
+        assert_eq!(parse_cli_from([], 2.0), (2.0, 1));
+        assert_eq!(parse_cli_from([arg("0.5")], 2.0), (0.5, 1));
+        assert_eq!(parse_cli_from([arg("--jobs"), arg("4")], 2.0), (2.0, 4));
+        assert_eq!(parse_cli_from([arg("--jobs=8"), arg("1.5")], 2.0), (1.5, 8));
+        assert_eq!(parse_cli_from([arg("--jobs=0")], 2.0).1, 1, "clamped");
+    }
+
+    #[test]
+    #[should_panic(expected = "unrecognised argument")]
+    fn cli_parsing_rejects_junk() {
+        parse_cli_from(["--frobnicate".to_string()], 2.0);
     }
 
     #[test]

@@ -31,7 +31,14 @@ pub struct RewireConfig {
     /// combinatorial blow-ups fail fast and grow the cluster instead.
     pub max_search_steps: u64,
     /// Randomised amendment restarts per II (within the time budget).
+    /// In portfolio mode this cap applies to **each** worker.
     pub max_restarts_per_ii: u32,
+    /// Number of independently seeded restart workers racing each II
+    /// budget on separate OS threads. 1 (the default) keeps the original
+    /// single-threaded restart loop; K > 1 runs K deterministic seed
+    /// streams and reduces their successes by `(cost, worker rank)`, so
+    /// the chosen mapping does not depend on thread scheduling.
+    pub portfolio_width: usize,
 }
 
 impl Default for RewireConfig {
@@ -47,6 +54,7 @@ impl Default for RewireConfig {
             max_cluster_attempts: 200,
             max_search_steps: 150_000,
             max_restarts_per_ii: u32::MAX,
+            portfolio_width: 1,
         }
     }
 }

@@ -670,7 +670,16 @@ mod tests {
         }];
         let store = propagate(&cgra, m.occupancy(), &seeds, 6);
         let reqs = requirements_for(&dfg, &m, b);
-        let cands = pcandidates(&dfg, &cgra, &m, &store, b, &reqs, &RewireConfig::default(), 10);
+        let cands = pcandidates(
+            &dfg,
+            &cgra,
+            &m,
+            &store,
+            b,
+            &reqs,
+            &RewireConfig::default(),
+            10,
+        );
         // Cycle-1 candidates: the producer's own PE plus its two mesh
         // neighbours (via the combinational delivery hop).
         let at_cycle_1: Vec<_> = cands
@@ -682,7 +691,10 @@ mod tests {
         assert!(at_cycle_1.contains(&pe(&cgra, 0, 0)));
         assert!(at_cycle_1.contains(&pe(&cgra, 0, 1)));
         assert!(at_cycle_1.contains(&pe(&cgra, 1, 0)));
-        assert!(!at_cycle_1.contains(&pe(&cgra, 1, 1)), "distance 2 needs a cycle");
+        assert!(
+            !at_cycle_1.contains(&pe(&cgra, 1, 1)),
+            "distance 2 needs a cycle"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use rewire_arch::{Cgra, PeId};
 use rewire_dfg::NodeId;
 use rewire_mrrg::{Occupancy, Resource};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Propagation direction of a tuple.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -24,6 +24,16 @@ pub enum Direction {
     Forward,
     /// From a mapped child, against data flow.
     Backward,
+}
+
+impl Direction {
+    /// Dense index (`Forward` = 0, `Backward` = 1) for flat side tables.
+    const fn index(self) -> usize {
+        match self {
+            Direction::Forward => 0,
+            Direction::Backward => 1,
+        }
+    }
 }
 
 /// One propagation source.
@@ -56,7 +66,13 @@ pub struct PropagationSeed {
 /// during cycle `c` can still reach the source in time.
 #[derive(Clone, Debug, Default)]
 pub struct TupleStore {
-    waves: HashMap<(NodeId, Direction, u32), Vec<Vec<u32>>>,
+    /// Indexed by `node.index() * 2 + direction.index()` — NodeIds are
+    /// contiguous, so the wave lookup in the propagation/intersection inner
+    /// loops is two array indexings instead of a hash. Each entry is the
+    /// small list of `(wave tag, per-PE sorted cycle lists)` for that
+    /// `(node, direction)`; distinct tags per pair are the node's distinct
+    /// edge deadlines, almost always one or two, so a linear scan wins.
+    waves: Vec<Vec<(u32, Vec<Vec<u32>>)>>,
     num_tuples: u64,
 }
 
@@ -66,11 +82,16 @@ impl TupleStore {
         Self::default()
     }
 
+    fn wave_slot(source: NodeId, direction: Direction) -> usize {
+        source.index() * 2 + direction.index()
+    }
+
     /// Sorted cycles at which the tagged wave reaches `pe`.
     pub fn cycles(&self, source: NodeId, direction: Direction, wave: u32, pe: PeId) -> &[u32] {
         self.waves
-            .get(&(source, direction, wave))
-            .map(|per_pe| per_pe[pe.index()].as_slice())
+            .get(Self::wave_slot(source, direction))
+            .and_then(|tags| tags.iter().find(|(tag, _)| *tag == wave))
+            .map(|(_, per_pe)| per_pe[pe.index()].as_slice())
             .unwrap_or(&[])
     }
 
@@ -132,11 +153,19 @@ impl TupleStore {
         pe: PeId,
         cycle: u32,
     ) -> bool {
-        let per_pe = self
-            .waves
-            .entry((source, dir, wave))
-            .or_insert_with(|| vec![Vec::new(); num_pes]);
-        let cycles = &mut per_pe[pe.index()];
+        let slot = Self::wave_slot(source, dir);
+        if self.waves.len() <= slot {
+            self.waves.resize(slot + 1, Vec::new());
+        }
+        let tags = &mut self.waves[slot];
+        let pos = match tags.iter().position(|(tag, _)| *tag == wave) {
+            Some(pos) => pos,
+            None => {
+                tags.push((wave, vec![Vec::new(); num_pes]));
+                tags.len() - 1
+            }
+        };
+        let cycles = &mut tags[pos].1[pe.index()];
         match cycles.binary_search(&cycle) {
             Ok(_) => false,
             Err(pos) => {

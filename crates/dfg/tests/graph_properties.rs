@@ -40,8 +40,8 @@ proptest! {
         let alap = g.alap_times();
         for e in g.edges() {
             if e.distance() == 0 {
-                prop_assert!(asap[e.dst().index()] >= asap[e.src().index()] + 1);
-                prop_assert!(alap[e.dst().index()] >= alap[e.src().index()] + 1);
+                prop_assert!(asap[e.dst().index()] > asap[e.src().index()]);
+                prop_assert!(alap[e.dst().index()] > alap[e.src().index()]);
             }
         }
         for v in g.node_ids() {

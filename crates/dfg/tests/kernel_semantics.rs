@@ -9,9 +9,9 @@ fn reduction_kernels_have_accumulator_cycles() {
     // phi-closed cycle with distance ≥ 1.
     for name in ["gesummv", "gemm", "syrk", "fir", "md-knn", "backprop"] {
         let g = kernels::by_name(name).unwrap();
-        let has_acc = g.edges().any(|e| {
-            e.is_loop_carried() && g.node(e.dst()).op() == OpKind::Phi
-        });
+        let has_acc = g
+            .edges()
+            .any(|e| e.is_loop_carried() && g.node(e.dst()).op() == OpKind::Phi);
         assert!(has_acc, "{name} lost its accumulator");
     }
 }

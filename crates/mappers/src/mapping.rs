@@ -4,6 +4,7 @@ use rewire_arch::{Cgra, PeId};
 use rewire_dfg::{Dfg, EdgeId, NodeId};
 use rewire_mrrg::{Mrrg, Occupancy, Resource, Route, RouteRequest};
 use std::fmt;
+use std::sync::Arc;
 
 /// A (possibly partial, possibly overused) mapping of a DFG onto a CGRA at
 /// a fixed initiation interval.
@@ -44,7 +45,10 @@ use std::fmt;
 /// ```
 #[derive(Clone, Debug)]
 pub struct Mapping {
-    mrrg: Mrrg,
+    // One shared MRRG handle between the mapping and its occupancy table;
+    // cloning a mapping (mapper restarts, portfolio workers) copies only
+    // the handle.
+    mrrg: Arc<Mrrg>,
     pes: Vec<Option<PeId>>,
     times: Vec<Option<u32>>,
     routes: Vec<Option<Route>>,
@@ -97,12 +101,13 @@ impl fmt::Display for MappingIssue {
 impl Mapping {
     /// Creates an empty mapping for `dfg` over the given MRRG shape.
     pub fn new(dfg: &Dfg, mrrg: &Mrrg) -> Self {
+        let mrrg = Arc::new(mrrg.clone());
         Self {
             mrrg: mrrg.clone(),
             pes: vec![None; dfg.num_nodes()],
             times: vec![None; dfg.num_nodes()],
             routes: vec![None; dfg.num_edges()],
-            occ: Occupancy::new(mrrg),
+            occ: Occupancy::new_shared(mrrg),
         }
     }
 

@@ -29,7 +29,10 @@ fn throughput_improves_with_register_budget() {
     let a = PathFinderMapper::new().map(&dfg, &rich, &limits);
     let b = PathFinderMapper::new().map(&dfg, &poor, &limits);
     if let (Some(ia), Some(ib)) = (a.stats.achieved_ii, b.stats.achieved_ii) {
-        assert!(ia <= ib + 1, "4 regs ({ia}) should not trail 1 reg ({ib}) by much");
+        assert!(
+            ia <= ib + 1,
+            "4 regs ({ia}) should not trail 1 reg ({ib}) by much"
+        );
     }
 }
 

@@ -28,7 +28,7 @@ proptest! {
         for e in dfg.edges() {
             prop_assert!(
                 t[e.dst().index()] as i64 + (e.distance() * ii) as i64
-                    >= t[e.src().index()] as i64 + 1,
+                    > t[e.src().index()] as i64,
                 "{e}"
             );
         }

@@ -1,7 +1,7 @@
 //! MRRG dimensions and dense cell indexing.
 
 use crate::Resource;
-use rewire_arch::Cgra;
+use rewire_arch::{Cgra, LinkId, PeId};
 use std::fmt;
 
 /// The shape of a time-extended resource graph: the architecture's resource
@@ -107,6 +107,47 @@ impl Mrrg {
             }
         }
     }
+
+    /// Inverse of [`index_of`](Mrrg::index_of): the resource cell at a
+    /// dense arena index.
+    ///
+    /// Together with `index_of` this makes the dense index space a true
+    /// arena: flat side tables (cost overlays, occupancy, history) can be
+    /// walked by index and decoded back to cells without hashing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.num_cells()`.
+    pub fn resource_of(&self, idx: usize) -> Resource {
+        assert!(
+            idx < self.num_cells(),
+            "cell index {idx} out of range for {self}"
+        );
+        let ii = self.ii as usize;
+        let fu_cells = self.num_pes * ii;
+        let link_cells = self.num_links * ii;
+        if idx < fu_cells {
+            Resource::Fu {
+                pe: PeId::new((idx / ii) as u32),
+                slot: (idx % ii) as u32,
+            }
+        } else if idx < fu_cells + link_cells {
+            let rel = idx - fu_cells;
+            Resource::Link {
+                link: LinkId::new((rel / ii) as u32),
+                slot: (rel % ii) as u32,
+            }
+        } else {
+            let rel = idx - fu_cells - link_cells;
+            let entity = rel / ii;
+            let regs = self.regs_per_pe as usize;
+            Resource::Reg {
+                pe: PeId::new((entity / regs) as u32),
+                reg: (entity % regs) as u8,
+                slot: (rel % ii) as u32,
+            }
+        }
+    }
 }
 
 impl fmt::Display for Mrrg {
@@ -170,6 +211,21 @@ mod tests {
             }
         }
         assert!(seen.into_iter().all(|b| b), "every cell index covered");
+    }
+
+    #[test]
+    fn resource_of_inverts_index_of() {
+        let m = mrrg();
+        for idx in 0..m.num_cells() {
+            assert_eq!(m.index_of(m.resource_of(idx)), idx);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn resource_of_out_of_range_panics() {
+        let m = mrrg();
+        m.resource_of(m.num_cells());
     }
 
     #[test]

@@ -72,4 +72,4 @@ pub use graph::Mrrg;
 pub use occupancy::Occupancy;
 pub use resource::Resource;
 pub use route::{Route, RouteError, RouteRequest};
-pub use router::{CostModel, NegotiatedCost, Router, UnitCost};
+pub use router::{CostModel, NegotiatedCost, Router, RouterScratch, UnitCost};

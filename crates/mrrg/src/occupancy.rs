@@ -3,6 +3,7 @@
 
 use crate::{Mrrg, Resource, Route};
 use rewire_dfg::NodeId;
+use std::sync::Arc;
 
 /// Occupancy state of every MRRG cell.
 ///
@@ -38,16 +39,25 @@ use rewire_dfg::NodeId;
 /// ```
 #[derive(Clone, Debug)]
 pub struct Occupancy {
-    mrrg: Mrrg,
+    // Shared, not owned: cloning an occupancy (once per mapper restart,
+    // multiplied by the parallel portfolio) must not duplicate the shape.
+    mrrg: Arc<Mrrg>,
     cells: Vec<Vec<((NodeId, u32), u32)>>,
 }
 
 impl Occupancy {
     /// Creates an all-free occupancy table for `mrrg`.
     pub fn new(mrrg: &Mrrg) -> Self {
+        Self::new_shared(Arc::new(mrrg.clone()))
+    }
+
+    /// Creates an all-free occupancy table sharing an existing MRRG handle
+    /// (avoids a per-table copy when the caller already holds one).
+    pub fn new_shared(mrrg: Arc<Mrrg>) -> Self {
+        let num_cells = mrrg.num_cells();
         Self {
-            mrrg: mrrg.clone(),
-            cells: vec![Vec::new(); mrrg.num_cells()],
+            mrrg,
+            cells: vec![Vec::new(); num_cells],
         }
     }
 

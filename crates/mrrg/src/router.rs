@@ -8,8 +8,9 @@
 //! edges advance exactly one layer.
 
 use crate::{Mrrg, Occupancy, Resource, Route, RouteError, RouteRequest};
-use rewire_arch::Cgra;
+use rewire_arch::{Cgra, PeId};
 use rewire_dfg::NodeId;
+use std::cell::RefCell;
 
 /// Pluggable cell-cost policy for the router.
 pub trait CostModel {
@@ -131,6 +132,66 @@ enum Carrier {
     Reg(u8, u32),
 }
 
+/// Reusable buffers for the router's layered dynamic program.
+///
+/// One route call needs an additive per-cell cost overlay, two DP value
+/// rows, and one parent row per path layer. Allocating these per call put
+/// `malloc` in the innermost loop of PF* negotiation, Rewire verification
+/// and SA evaluation; a scratch instance keeps them alive across calls so
+/// repeated routing does zero steady-state allocation.
+///
+/// [`Router::route`] maintains one instance per thread automatically;
+/// [`Router::route_with`] accepts an explicit instance for callers that
+/// manage their own pools. Buffers grow to the largest shape seen and are
+/// reused for any request of the same or smaller shape.
+#[derive(Clone, Debug, Default)]
+pub struct RouterScratch {
+    /// Dense per-cell additive penalty (`Mrrg::index_of` indexed).
+    overlay: Vec<f64>,
+    /// Indices of nonzero overlay entries, for O(touched) clearing.
+    overlay_touched: Vec<usize>,
+    /// DP value row for the current layer.
+    cur: Vec<f64>,
+    /// DP value row being built for the next layer.
+    next: Vec<f64>,
+    /// Per-layer parent pointers: `(previous state, resource consumed)`.
+    parents: Vec<Vec<(u32, Resource)>>,
+}
+
+impl RouterScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Zeroes the overlay for a new route call, resizing to `num_cells`.
+    fn reset_overlay(&mut self, num_cells: usize) {
+        if self.overlay.len() == num_cells {
+            for &idx in &self.overlay_touched {
+                self.overlay[idx] = 0.0;
+            }
+        } else {
+            self.overlay.clear();
+            self.overlay.resize(num_cells, 0.0);
+        }
+        self.overlay_touched.clear();
+    }
+
+    /// Adds `penalty` to a cell's overlay entry, tracking it for clearing.
+    fn penalise(&mut self, idx: usize, penalty: f64) {
+        if self.overlay[idx] == 0.0 {
+            self.overlay_touched.push(idx);
+        }
+        self.overlay[idx] += penalty;
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch backing [`Router::route`], so every existing
+    /// call site gets allocation reuse without signature changes.
+    static ROUTE_SCRATCH: RefCell<RouterScratch> = RefCell::new(RouterScratch::new());
+}
+
 /// The layered-DAG router.
 ///
 /// See the crate docs for the timing contract. One `Router` borrows the
@@ -169,10 +230,27 @@ impl<'a> Router<'a> {
         req: &RouteRequest,
         cost: &impl CostModel,
     ) -> Result<Route, RouteError> {
-        let mut overlay: std::collections::HashMap<Resource, f64> =
-            std::collections::HashMap::new();
+        ROUTE_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut scratch) => self.route_with(occ, req, cost, &mut scratch),
+            // Re-entrant call (a cost model routing from inside
+            // `cell_cost`): fall back to a fresh scratch.
+            Err(_) => self.route_with(occ, req, cost, &mut RouterScratch::new()),
+        })
+    }
+
+    /// [`route`](Router::route) with an explicit scratch buffer, for
+    /// callers that manage their own pools (e.g. per-worker scratch in a
+    /// parallel portfolio).
+    pub fn route_with(
+        &self,
+        occ: &Occupancy,
+        req: &RouteRequest,
+        cost: &impl CostModel,
+        scratch: &mut RouterScratch,
+    ) -> Result<Route, RouteError> {
+        scratch.reset_overlay(self.mrrg.num_cells());
         for _attempt in 0..10 {
-            let route = self.route_attempt(occ, req, cost, &overlay)?;
+            let route = self.route_attempt(occ, req, cost, scratch)?;
             let mut duplicates = Vec::new();
             for (i, a) in route.resources().iter().enumerate() {
                 if route.resources()[i + 1..].contains(a) && !duplicates.contains(a) {
@@ -184,19 +262,19 @@ impl<'a> Router<'a> {
             }
             // Steer the next attempt away from every looped cell.
             for cell in duplicates {
-                *overlay.entry(cell).or_insert(0.0) += 8.0;
+                scratch.penalise(self.mrrg.index_of(cell), 8.0);
             }
         }
         Err(RouteError::NoPath { request: *req })
     }
 
-    /// One DP attempt with an additive cost overlay.
+    /// One DP attempt with the scratch's additive cost overlay.
     fn route_attempt(
         &self,
         occ: &Occupancy,
         req: &RouteRequest,
         cost: &impl CostModel,
-        overlay: &std::collections::HashMap<Resource, f64>,
+        scratch: &mut RouterScratch,
     ) -> Result<Route, RouteError> {
         let len = req
             .num_steps()
@@ -227,24 +305,38 @@ impl<'a> Router<'a> {
         };
 
         const INF: f64 = f64::INFINITY;
-        let mut cur = vec![INF; num_states];
-        let mut parents: Vec<Vec<(u32, Resource)>> = Vec::with_capacity(len);
+        // Split the scratch into disjoint field borrows so the DP can hold
+        // the overlay immutably while writing the value/parent rows.
+        let RouterScratch {
+            overlay,
+            cur,
+            next,
+            parents,
+            ..
+        } = scratch;
+        cur.clear();
+        cur.resize(num_states, INF);
         cur[encode(req.src_pe.index(), Carrier::Wire)] = 0.0;
+        if parents.len() < len {
+            parents.resize(len, Vec::new());
+        }
 
-        for k in 0..len {
+        for (k, parent) in parents.iter_mut().enumerate().take(len) {
             let cycle = req.depart_cycle + k as u32;
             let slot = self.mrrg.slot_of(cycle);
-            let mut next = vec![INF; num_states];
-            let mut parent = vec![
+            next.clear();
+            next.resize(num_states, INF);
+            parent.clear();
+            parent.resize(
+                num_states,
                 (
                     u32::MAX,
                     Resource::Fu {
                         pe: req.src_pe,
-                        slot: 0
-                    }
-                );
-                num_states
-            ];
+                        slot: 0,
+                    },
+                ),
+            );
 
             #[allow(clippy::needless_range_loop)] // index is also the state id
             for state in 0..num_states {
@@ -253,14 +345,18 @@ impl<'a> Router<'a> {
                     continue;
                 }
                 let (pe_idx, carrier) = decode(state);
-                let pe = self.cgra.pes().nth(pe_idx).expect("valid pe index").id();
+                // PeIds are dense row-major indices, so the state's PE is a
+                // direct construction (this used to be an O(num_pes)
+                // iterator walk in the DP inner loop).
+                let pe = PeId::new(pe_idx as u32);
 
+                let mrrg = self.mrrg;
                 let relax = |next_state: usize,
                              res: Resource,
                              next_vec: &mut Vec<f64>,
                              parent_vec: &mut Vec<(u32, Resource)>| {
                     if let Some(c) = cost.cell_cost(occ, res, req.signal, k as u32) {
-                        let cand = base + c + overlay.get(&res).copied().unwrap_or(0.0);
+                        let cand = base + c + overlay[mrrg.index_of(res)];
                         if cand < next_vec[next_state] {
                             next_vec[next_state] = cand;
                             parent_vec[next_state] = (state as u32, res);
@@ -275,7 +371,7 @@ impl<'a> Router<'a> {
                         slot,
                     };
                     let ns = encode(link.dst().index(), Carrier::Wire);
-                    relax(ns, res, &mut next, &mut parent);
+                    relax(ns, res, next, parent);
                 }
 
                 match carrier {
@@ -284,7 +380,7 @@ impl<'a> Router<'a> {
                         for r in 0..regs as u8 {
                             let res = Resource::Reg { pe, reg: r, slot };
                             let ns = encode(pe_idx, Carrier::Reg(r, 1));
-                            relax(ns, res, &mut next, &mut parent);
+                            relax(ns, res, next, parent);
                         }
                     }
                     Carrier::Reg(r, run) => {
@@ -293,22 +389,21 @@ impl<'a> Router<'a> {
                         if run < ii {
                             let res = Resource::Reg { pe, reg: r, slot };
                             let ns = encode(pe_idx, Carrier::Reg(r, run + 1));
-                            relax(ns, res, &mut next, &mut parent);
+                            relax(ns, res, next, parent);
                         }
                         // Transfer to a sibling register.
                         for r2 in 0..regs as u8 {
                             if r2 != r {
                                 let res = Resource::Reg { pe, reg: r2, slot };
                                 let ns = encode(pe_idx, Carrier::Reg(r2, 1));
-                                relax(ns, res, &mut next, &mut parent);
+                                relax(ns, res, next, parent);
                             }
                         }
                     }
                 }
             }
 
-            parents.push(parent);
-            cur = next;
+            std::mem::swap(cur, next);
         }
 
         // Arrival. Two ways for the consumer FU to read the value during
@@ -337,7 +432,7 @@ impl<'a> Router<'a> {
             let Some(hop_cost) = cost.cell_cost(occ, res, req.signal, len as u32) else {
                 continue;
             };
-            let hop_cost = hop_cost + overlay.get(&res).copied().unwrap_or(0.0);
+            let hop_cost = hop_cost + overlay[self.mrrg.index_of(res)];
             for c in 0..stride {
                 let s = link.src().index() * stride + c;
                 let total = cur[s] + hop_cost;

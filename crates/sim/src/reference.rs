@@ -65,8 +65,8 @@ mod tests {
         assert_eq!(t[phi.index()][0], init);
         assert_eq!(t[add.index()][0], init + k);
         // iter i: add = initial + (i+1)*k.
-        for i in 0..4usize {
-            assert_eq!(t[add.index()][i], init + (i as i64 + 1) * k);
+        for (i, &v) in t[add.index()].iter().enumerate().take(4) {
+            assert_eq!(v, init + (i as i64 + 1) * k);
         }
     }
 
@@ -81,9 +81,9 @@ mod tests {
         g.add_edge(ld, sq, 0).unwrap();
         let inputs = Inputs::new(2);
         let t = interpret(&g, &inputs, 3);
-        for i in 0..3usize {
+        for (i, &v) in t[sq.index()].iter().enumerate().take(3) {
             let loaded = inputs.load(ld.index(), i as u32, inputs.constant(c.index()));
-            assert_eq!(t[sq.index()][i], loaded.wrapping_mul(loaded));
+            assert_eq!(v, loaded.wrapping_mul(loaded));
         }
     }
 

@@ -4,7 +4,7 @@
 use rewire_arch::{presets, Coord, OpKind};
 use rewire_dfg::Dfg;
 use rewire_mappers::Mapping;
-use rewire_mrrg::{Mrrg, RouteRequest, Router, UnitCost};
+use rewire_mrrg::{Mrrg, Router, UnitCost};
 use rewire_sim::{machine, reference, verify_semantics, Inputs, SimError};
 
 fn pe(cgra: &rewire_arch::Cgra, r: u16, c: u16) -> rewire_arch::PeId {

@@ -40,8 +40,7 @@ fn mappers_can_run_on_worker_threads() {
             std::thread::spawn(move || {
                 let cgra = presets::paper_4x4_r4();
                 let dfg = kernels::by_name(name).unwrap();
-                let limits =
-                    MapLimits::fast().with_ii_time_budget(Duration::from_millis(800));
+                let limits = MapLimits::fast().with_ii_time_budget(Duration::from_millis(800));
                 let out = PathFinderMapper::new().map(&dfg, &cgra, &limits);
                 out.mapping.map(|m| {
                     assert!(m.is_valid(&dfg, &cgra));

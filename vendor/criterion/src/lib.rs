@@ -1,0 +1,190 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`criterion_group!`] and [`criterion_main!`] — backed by a plain
+//! wall-clock sampler: each benchmark runs `sample_size` timed samples and
+//! reports min / mean / max to stdout. No statistical analysis, no HTML
+//! reports, no comparison to saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink, re-exported like criterion's.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+}
+
+/// Identifier for a parameterised benchmark, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered from a parameter value.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        Self {
+            id: param.to_string(),
+        }
+    }
+
+    /// Id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{param}", function.into()),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark that closes over a prepared input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("  {}/{id}: no samples", self.name);
+            return;
+        }
+        let min = samples.iter().min().unwrap();
+        let max = samples.iter().max().unwrap();
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "  {}/{id}: min {min:?}  mean {mean:?}  max {max:?}  ({} samples)",
+            self.name,
+            samples.len()
+        );
+    }
+
+    /// Ends the group (output is already flushed per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Times closure executions, one sample per call.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` for the configured number of samples, timing each.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up execution.
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares a benchmark group runner, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+
+    criterion_group!(benches, trivial);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}

@@ -1,0 +1,278 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro over functions whose arguments are
+//! drawn from integer range strategies (`lo..hi`, `lo..=hi`), the
+//! `#![proptest_config(ProptestConfig { cases, .. })]` header, and the
+//! [`prop_assert!`] / [`prop_assert_eq!`] assertion macros.
+//!
+//! Differences from real proptest, acceptable for this workspace:
+//!
+//! * no shrinking — a failing case reports its inputs and panics as-is;
+//! * sampling is driven by a fixed-seed deterministic generator, so runs
+//!   are reproducible (case `i` of test `t` always sees the same inputs).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+pub use rand::RngCore;
+
+/// Per-test configuration (`cases` is the number of sampled executions).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+    /// Unused compatibility field (real proptest: max global rejects).
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// A value source: anything a `proptest!` argument can be drawn from.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng as _;
+                rng.random_range(self.start..self.end)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng as _;
+                rng.random_range(*self.start()..=*self.end())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+/// Fixed set of choices, sampled uniformly.
+impl<T: Clone> Strategy for Vec<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        use rand::Rng as _;
+        assert!(!self.is_empty(), "cannot sample from an empty choice set");
+        self[rng.random_range(0..self.len())].clone()
+    }
+}
+
+/// Failure value of a property body (real proptest threads this through
+/// instead of panicking; the stand-in only needs the type to exist so that
+/// bodies may `return Ok(())` early).
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property did not hold.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with a message (mirrors `proptest::test_runner`'s
+    /// constructor).
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self::Fail(reason.into())
+    }
+}
+
+/// Runs `cases` deterministic executions of a property body.
+///
+/// The per-case RNG is seeded from the test name and case index, so adding
+/// or removing sibling tests never changes a test's inputs.
+pub fn run_property<F: FnMut(&mut StdRng)>(name: &str, config: &ProptestConfig, mut body: F) {
+    use rand::SeedableRng as _;
+    let name_hash = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    });
+    for case in 0..config.cases {
+        let mut rng = StdRng::seed_from_u64(name_hash ^ (case as u64).wrapping_mul(0x9E37_79B9));
+        body(&mut rng);
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy producing a `Vec` of values drawn from an element
+    /// strategy, with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// A `Vec` whose length lies in `size` and whose elements come from
+    /// `element` (mirrors `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "empty length range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            use rand::Rng as _;
+            let len = rng.random_range(self.size.start..self.size.end);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Commonly imported names.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// The property-test declaration macro (see crate docs for coverage).
+#[macro_export]
+macro_rules! proptest {
+    // With a config header.
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_property(stringify!($name), &config, |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), __proptest_rng);)*
+                    // Result-returning wrapper so bodies may `return Ok(())`
+                    // early, as under real proptest.
+                    let mut __proptest_case =
+                        || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            Ok(())
+                        };
+                    if let Err(e) = __proptest_case() {
+                        panic!("property {} failed: {e:?}", stringify!($name));
+                    }
+                });
+            }
+        )*
+    };
+    // Without a config header: default configuration.
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),*) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property body (panics with the inputs'
+/// values formatted by the caller; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+        #[test]
+        fn ranges_give_in_bounds_values(a in 3u32..10, b in 0usize..=4) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!(b <= 4, "b = {b}");
+        }
+
+        #[test]
+        fn multiple_functions_in_one_block(x in 1u64..100) {
+            prop_assert_eq!(x.max(1), x);
+            prop_assert_ne!(x, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_block(v in 0u8..255) {
+            prop_assert!(v < 255);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first: Vec<u32> = Vec::new();
+        let cfg = ProptestConfig::with_cases(10);
+        crate::run_property("det", &cfg, |rng| {
+            first.push(Strategy::sample(&(0u32..1000), rng));
+        });
+        let mut second: Vec<u32> = Vec::new();
+        crate::run_property("det", &cfg, |rng| {
+            second.push(Strategy::sample(&(0u32..1000), rng));
+        });
+        assert_eq!(first, second);
+    }
+}

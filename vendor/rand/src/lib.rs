@@ -1,0 +1,300 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build environment has no network access and no crates cache, so this
+//! workspace vendors the *exact* API surface it consumes: a seedable,
+//! deterministic generator (`rngs::StdRng`), the `Rng` extension methods
+//! `random_range` / `random_bool` / `random`, and `seq::SliceRandom::shuffle`.
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction the real `rand_chacha`-backed `StdRng` guarantees nothing
+//! about either, and all workspace users only require determinism for a
+//! fixed seed, which this provides.
+
+#![forbid(unsafe_code)]
+
+/// Core generator trait: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniform 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Extension methods over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`low..high` or `low..=high`).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: IntoUniformRange<T>,
+    {
+        let (low, high_inclusive) = range.bounds();
+        T::sample_between(self, low, high_inclusive)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        self.random_f64() < p
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn random_f64(&mut self) -> f64 {
+        // 53 uniform mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Types uniformly sampleable from a bounded range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample in `[low, high_inclusive]`.
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_inclusive: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high_inclusive: Self,
+            ) -> Self {
+                assert!(low <= high_inclusive, "empty sample range");
+                let span = (high_inclusive as u128)
+                    .wrapping_sub(low as u128)
+                    .wrapping_add(1) as u128;
+                if span == 0 {
+                    // Full-width range: every word is a valid sample.
+                    return rng.next_u64() as $t;
+                }
+                // Debiased via rejection on the top of the 64-bit space.
+                let zone = u64::MAX - ((u64::MAX as u128 + 1) % span) as u64;
+                loop {
+                    let v = rng.next_u64();
+                    if v <= zone {
+                        return low.wrapping_add((v as u128 % span) as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_inclusive: Self) -> Self {
+        low + (high_inclusive - low) * ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64)
+    }
+}
+
+/// Range forms accepted by [`Rng::random_range`].
+pub trait IntoUniformRange<T> {
+    /// `(low, high_inclusive)` bounds of the range.
+    fn bounds(self) -> (T, T);
+}
+
+impl IntoUniformRange<usize> for std::ops::Range<usize> {
+    fn bounds(self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty sample range");
+        (self.start, self.end - 1)
+    }
+}
+
+macro_rules! impl_range_forms {
+    ($($t:ty),*) => {$(
+        impl IntoUniformRange<$t> for std::ops::Range<$t> {
+            fn bounds(self) -> ($t, $t) {
+                assert!(self.start < self.end, "empty sample range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl IntoUniformRange<$t> for std::ops::RangeInclusive<$t> {
+            fn bounds(self) -> ($t, $t) {
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+
+impl_range_forms!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl IntoUniformRange<f64> for std::ops::Range<f64> {
+    fn bounds(self) -> (f64, f64) {
+        assert!(self.start < self.end, "empty sample range");
+        (self.start, self.end)
+    }
+}
+
+impl IntoUniformRange<f64> for std::ops::RangeInclusive<f64> {
+    fn bounds(self) -> (f64, f64) {
+        (*self.start(), *self.end())
+    }
+}
+
+impl IntoUniformRange<usize> for std::ops::RangeInclusive<usize> {
+    fn bounds(self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Construction of a generator from seed material, mirroring
+/// `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose full state is derived from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic, seedable generator (xoshiro256++ seeded via
+    /// SplitMix64). Stands in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers, mirroring `rand::seq`.
+
+    use super::{Rng, RngCore};
+
+    /// Slice shuffling and sampling.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom as _;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64_pub(), b.next_u64_pub());
+        }
+    }
+
+    impl StdRng {
+        fn next_u64_pub(&mut self) -> u64 {
+            use super::RngCore;
+            self.next_u64()
+        }
+    }
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..10);
+            assert!((3..10).contains(&v));
+            let w: u32 = rng.random_range(5..=5);
+            assert_eq!(w, 5);
+            let x: u64 = rng.random_range(0..2);
+            assert!(x < 2);
+        }
+    }
+
+    #[test]
+    fn bool_probabilities_degenerate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(rng.random_bool(1.0));
+        assert!(!rng.random_bool(0.0));
+        let hits = (0..2000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((700..1300).contains(&hits), "p=0.5 gave {hits}/2000");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+    }
+}
