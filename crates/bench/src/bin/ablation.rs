@@ -20,7 +20,8 @@ fn achieved(out: &rewire_mappers::MapOutcome) -> String {
 }
 
 fn main() {
-    let (secs, jobs) = parse_cli(1.5);
+    let args = parse_cli(1.5);
+    let (secs, jobs) = (args.seconds_per_ii, args.jobs);
     let cgra = presets::paper_4x4_r4();
     let limits =
         MapLimits::benchmark().with_ii_time_budget(Duration::from_millis((secs * 1000.0) as u64));

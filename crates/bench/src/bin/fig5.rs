@@ -1,14 +1,15 @@
 //! Regenerates Fig 5: mapping quality (II) of Rewire vs PF* vs SA on the
 //! paper's four CGRA configurations.
 //!
-//! Usage: `cargo run -p rewire-bench --release --bin fig5 [seconds_per_ii] [--jobs N]`
+//! Usage: `cargo run -p rewire-bench --release --bin fig5 [seconds_per_ii] [--jobs N] [--trace FILE]`
 
-use rewire_bench::{fig5_workloads, parse_cli, print_fig5, run_workloads_jobs, MapperKind};
+use rewire_bench::{fig5_workloads, parse_cli, print_fig5, run_workloads_traced, MapperKind};
 
 fn main() {
-    let (secs, jobs) = parse_cli(2.0);
+    let args = parse_cli(2.0);
+    let (secs, jobs) = (args.seconds_per_ii, args.jobs);
     eprintln!("fig5: per-II budget {secs}s per mapper, {jobs} job(s)");
-    let rows = run_workloads_jobs(
+    let rows = run_workloads_traced(
         &fig5_workloads(),
         &[
             MapperKind::Rewire,
@@ -17,6 +18,7 @@ fn main() {
         ],
         secs,
         jobs,
+        args.trace_sink(),
         |row| {
             eprintln!(
                 "  {} / {}: mii={} {:?}",

@@ -3,14 +3,15 @@
 //! budget at a failing II; see DESIGN.md §2 on the wall-clock
 //! substitution).
 //!
-//! Usage: `cargo run -p rewire-bench --release --bin fig6 [seconds_per_ii] [--jobs N]`
+//! Usage: `cargo run -p rewire-bench --release --bin fig6 [seconds_per_ii] [--jobs N] [--trace FILE]`
 
-use rewire_bench::{fig6_workloads, parse_cli, print_fig6, run_workloads_jobs, MapperKind};
+use rewire_bench::{fig6_workloads, parse_cli, print_fig6, run_workloads_traced, MapperKind};
 
 fn main() {
-    let (secs, jobs) = parse_cli(2.0);
+    let args = parse_cli(2.0);
+    let (secs, jobs) = (args.seconds_per_ii, args.jobs);
     eprintln!("fig6: per-II budget {secs}s per mapper (equal-budget mode), {jobs} job(s)");
-    let rows = run_workloads_jobs(
+    let rows = run_workloads_traced(
         &fig6_workloads(),
         &[
             MapperKind::Rewire,
@@ -19,6 +20,7 @@ fn main() {
         ],
         secs,
         jobs,
+        args.trace_sink(),
         |row| {
             eprintln!(
                 "  {} / {}: {:?}",

@@ -1,24 +1,24 @@
 //! Runs the complete reproduction (Fig 5, Fig 6, Table I) in one go and
 //! prints every table plus the Rewire verification-success statistic.
 //!
-//! Usage: `cargo run -p rewire-bench --release --bin repro [seconds_per_ii]`
+//! Usage: `cargo run -p rewire-bench --release --bin repro [seconds_per_ii] [--jobs N] [--trace FILE]`
 
 use rewire_bench::{
-    fig5_workloads, fig6_workloads, print_fig5, print_fig6, print_table1, run_workloads,
-    table1_workloads, MapperKind,
+    fig5_workloads, fig6_workloads, parallel_map, parse_cli, print_fig5, print_fig6, print_table1,
+    run_workloads_traced, table1_workloads, MapperKind,
 };
 use rewire_core::RewireMapper;
 use rewire_mappers::MapLimits;
 use std::time::Duration;
 
 fn main() {
-    let secs: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2.0);
+    let args = parse_cli(2.0);
+    let (secs, jobs) = (args.seconds_per_ii, args.jobs);
+    let trace = args.trace_sink();
+    eprintln!("repro: per-II budget {secs}s per mapper, {jobs} job(s)");
 
     eprintln!("== running Fig 5 (quality) ==");
-    let rows = run_workloads(
+    let rows = run_workloads_traced(
         &fig5_workloads(),
         &[
             MapperKind::Rewire,
@@ -26,12 +26,14 @@ fn main() {
             MapperKind::Annealing,
         ],
         secs,
+        jobs,
+        trace.clone(),
         |row| eprintln!("  fig5 {} / {}", row.config, row.kernel),
     );
     print_fig5(&rows);
 
     eprintln!("\n== running Fig 6 (compilation time) ==");
-    let rows = run_workloads(
+    let rows = run_workloads_traced(
         &fig6_workloads(),
         &[
             MapperKind::Rewire,
@@ -39,28 +41,37 @@ fn main() {
             MapperKind::Annealing,
         ],
         secs,
+        jobs,
+        trace.clone(),
         |row| eprintln!("  fig6 {} / {}", row.config, row.kernel),
     );
     print_fig6(&rows);
 
     eprintln!("\n== running Table I (iterations) ==");
-    let rows = run_workloads(
+    let rows = run_workloads_traced(
         &table1_workloads(),
         &[MapperKind::PathFinder, MapperKind::Annealing],
         secs,
+        jobs,
+        trace,
         |row| eprintln!("  table1 {} / {}", row.config, row.kernel),
     );
     print_table1(&rows);
 
-    // §IV-D: verification success rate of generated Placement(U).
+    // §IV-D: verification success rate of generated Placement(U). Each
+    // kernel's run is independent, so the suite fans out over the worker
+    // pool; the merge happens on the main thread in input order.
     eprintln!("\n== measuring Placement(U) verification success rate ==");
     let cgra = rewire_arch::presets::paper_4x4_r4();
     let limits =
         MapLimits::benchmark().with_ii_time_budget(Duration::from_millis((secs * 1000.0) as u64));
+    let suite = rewire_dfg::kernels::all();
+    let per_kernel = parallel_map(&suite, jobs, |(_, dfg)| {
+        RewireMapper::new().map_with_stats(dfg, &cgra, &limits).1
+    });
     let mut total = rewire_core::RewireStats::default();
-    for (_, dfg) in rewire_dfg::kernels::all() {
-        let (_, rs) = RewireMapper::new().map_with_stats(&dfg, &cgra, &limits);
-        total.merge(&rs);
+    for rs in &per_kernel {
+        total.merge(rs);
     }
     println!(
         "\nPlacement(U) verification success rate: {:.1}% ({} / {})",

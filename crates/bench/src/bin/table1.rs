@@ -2,18 +2,20 @@
 //! and SA on 4×4 CGRAs with one and with four registers per PE, averaged
 //! per explored II.
 //!
-//! Usage: `cargo run -p rewire-bench --release --bin table1 [seconds_per_ii] [--jobs N]`
+//! Usage: `cargo run -p rewire-bench --release --bin table1 [seconds_per_ii] [--jobs N] [--trace FILE]`
 
-use rewire_bench::{parse_cli, print_table1, run_workloads_jobs, table1_workloads, MapperKind};
+use rewire_bench::{parse_cli, print_table1, run_workloads_traced, table1_workloads, MapperKind};
 
 fn main() {
-    let (secs, jobs) = parse_cli(2.0);
+    let args = parse_cli(2.0);
+    let (secs, jobs) = (args.seconds_per_ii, args.jobs);
     eprintln!("table1: per-II budget {secs}s per mapper, {jobs} job(s)");
-    let rows = run_workloads_jobs(
+    let rows = run_workloads_traced(
         &table1_workloads(),
         &[MapperKind::PathFinder, MapperKind::Annealing],
         secs,
         jobs,
+        args.trace_sink(),
         |row| {
             eprintln!(
                 "  {} / {}: {:?}",

@@ -19,5 +19,8 @@ pub mod runner;
 pub mod workloads;
 
 pub use report::{print_fig5, print_fig6, print_table1, summarize, to_markdown, Summary};
-pub use runner::{parallel_map, parse_cli, run_workloads, run_workloads_jobs, MapperKind, Row};
+pub use runner::{
+    parallel_map, parse_cli, run_workloads, run_workloads_jobs, run_workloads_traced, BenchArgs,
+    MapperKind, Row,
+};
 pub use workloads::{fig5_workloads, fig6_workloads, table1_workloads, Workload};

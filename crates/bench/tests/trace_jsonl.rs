@@ -1,0 +1,195 @@
+//! End-to-end check of the `--trace` path: running a fig6 workload through
+//! the traced runner with `--jobs` fan-out must produce a JSONL file where
+//! every line parses as a flat JSON object with the expected identity and
+//! event fields. The workspace is offline (no serde), so the test brings
+//! its own minimal JSON parser.
+
+use rewire_bench::{fig6_workloads, run_workloads_traced, MapperKind};
+use rewire_mappers::engine::{JsonlTrace, SharedSink};
+use std::collections::BTreeMap;
+
+/// A JSON value as far as the trace format needs: flat objects of strings,
+/// numbers, and booleans.
+#[derive(Debug, PartialEq)]
+enum Json {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+}
+
+/// Parses one flat JSON object (the only shape `MapEvent::to_json` emits).
+/// Returns `None` on any malformed input.
+fn parse_flat_object(line: &str) -> Option<BTreeMap<String, Json>> {
+    let mut chars = line.chars().peekable();
+    let mut out = BTreeMap::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars>) {
+        while chars.next_if(|c| c.is_whitespace()).is_some() {}
+    }
+
+    fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<String> {
+        if chars.next()? != '"' {
+            return None;
+        }
+        let mut s = String::new();
+        loop {
+            match chars.next()? {
+                '"' => return Some(s),
+                '\\' => match chars.next()? {
+                    '"' => s.push('"'),
+                    '\\' => s.push('\\'),
+                    'n' => s.push('\n'),
+                    'r' => s.push('\r'),
+                    't' => s.push('\t'),
+                    'u' => {
+                        let hex: String = (0..4).map(|_| chars.next().unwrap_or(' ')).collect();
+                        let code = u32::from_str_radix(&hex, 16).ok()?;
+                        s.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                c => s.push(c),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    if chars.next()? != '{' {
+        return None;
+    }
+    loop {
+        skip_ws(&mut chars);
+        if chars.peek() == Some(&'}') {
+            chars.next();
+            break;
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()? != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek()? {
+            '"' => Json::Str(parse_string(&mut chars)?),
+            't' | 'f' => {
+                let word: String =
+                    std::iter::from_fn(|| chars.next_if(char::is_ascii_alphabetic)).collect();
+                match word.as_str() {
+                    "true" => Json::Bool(true),
+                    "false" => Json::Bool(false),
+                    _ => return None,
+                }
+            }
+            _ => {
+                let num: String = std::iter::from_fn(|| {
+                    chars
+                        .next_if(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+                })
+                .collect();
+                Json::Num(num.parse().ok()?)
+            }
+        };
+        out.insert(key, value);
+        skip_ws(&mut chars);
+        match chars.peek()? {
+            ',' => {
+                chars.next();
+            }
+            '}' => {}
+            _ => return None,
+        }
+    }
+    skip_ws(&mut chars);
+    chars.next().is_none().then_some(out)
+}
+
+#[test]
+fn fig6_workload_emits_a_parseable_jsonl_trace() {
+    // One fig6 workload (4×4/2-reg), truncated to one kernel so the
+    // debug-mode test stays fast; all three evaluation mappers, --jobs 2.
+    let mut workloads = fig6_workloads();
+    workloads.retain(|w| w.label == "4x4 2reg");
+    assert_eq!(workloads.len(), 1);
+    workloads[0].kernels.truncate(1);
+    let kernel_name = workloads[0].kernels[0].name().to_string();
+
+    let path = std::env::temp_dir().join(format!("rewire-trace-{}.jsonl", std::process::id()));
+    let sink = SharedSink::new(JsonlTrace::create(&path).expect("create trace file"));
+    let rows = run_workloads_traced(
+        &workloads,
+        &[
+            MapperKind::Rewire,
+            MapperKind::PathFinderFullBudget,
+            MapperKind::Annealing,
+        ],
+        0.5,
+        2,
+        Some(sink),
+        |_| {},
+    );
+    assert_eq!(rows.len(), 1);
+
+    let text = std::fs::read_to_string(&path).expect("trace file readable");
+    let _ = std::fs::remove_file(&path);
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines.len() >= 9,
+        "3 mappers × (IiStarted + AttemptFinished + terminal) at minimum, got {}",
+        lines.len()
+    );
+
+    let mut mappers_seen = std::collections::BTreeSet::new();
+    let mut terminals = 0usize;
+    for line in &lines {
+        let obj =
+            parse_flat_object(line).unwrap_or_else(|| panic!("unparseable trace line: {line}"));
+        // Identity fields on every line.
+        match obj.get("mapper") {
+            Some(Json::Str(m)) => {
+                mappers_seen.insert(m.clone());
+            }
+            other => panic!("missing mapper field ({other:?}): {line}"),
+        }
+        assert_eq!(
+            obj.get("kernel"),
+            Some(&Json::Str(kernel_name.clone())),
+            "{line}"
+        );
+        assert!(matches!(obj.get("seed"), Some(Json::Num(_))), "{line}");
+        let kind = match obj.get("type") {
+            Some(Json::Str(k)) => k.clone(),
+            other => panic!("missing type field ({other:?}): {line}"),
+        };
+        match kind.as_str() {
+            "ii_started" => assert!(matches!(obj.get("ii"), Some(Json::Num(_))), "{line}"),
+            "negotiation_round" => {
+                for field in ["ii", "iteration", "ill_nodes", "overuse"] {
+                    assert!(matches!(obj.get(field), Some(Json::Num(_))), "{line}");
+                }
+            }
+            "attempt_finished" => {
+                assert!(matches!(obj.get("routed"), Some(Json::Bool(_))), "{line}");
+                for field in ["ii", "overuse", "iterations"] {
+                    assert!(matches!(obj.get(field), Some(Json::Num(_))), "{line}");
+                }
+            }
+            "mapped" => {
+                terminals += 1;
+                for field in ["ii", "iis_explored", "elapsed_us"] {
+                    assert!(matches!(obj.get(field), Some(Json::Num(_))), "{line}");
+                }
+            }
+            "gave_up" => {
+                terminals += 1;
+                assert!(matches!(obj.get("reason"), Some(Json::Str(_))), "{line}");
+            }
+            other => panic!("unknown event type {other:?}: {line}"),
+        }
+    }
+    assert_eq!(
+        mappers_seen.into_iter().collect::<Vec<_>>(),
+        vec!["PF*".to_string(), "Rewire".to_string(), "SA".to_string()],
+        "every mapper's run reached the shared trace"
+    );
+    assert_eq!(terminals, 3, "one terminal event per mapper run");
+}

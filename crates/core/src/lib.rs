@@ -56,7 +56,7 @@ mod stats;
 pub use cluster::Cluster;
 pub use config::RewireConfig;
 pub use intersect::{PlacementCandidates, Requirement};
-pub use mapper::RewireMapper;
+pub use mapper::{RewireAttempt, RewireMapper};
 pub use placement::ClusterPlacer;
 pub use propagate::{propagate, Direction, PropagationSeed, TupleStore};
 pub use stats::RewireStats;

@@ -11,7 +11,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rewire_arch::Cgra;
 use rewire_dfg::{Dfg, NodeId};
-use rewire_mappers::{MapLimits, MapOutcome, MapStats, Mapper, Mapping, PathFinderMapper};
+use rewire_mappers::engine::{
+    worker_seed, AttemptCtx, AttemptOutcome, Emitter, EventSink, IiAttempt, IiSearch, MapEvent,
+    Silent,
+};
+use rewire_mappers::{MapLimits, MapOutcome, Mapper, Mapping, PathFinderMapper};
 use std::time::Instant;
 
 /// The Rewire mapper.
@@ -43,91 +47,40 @@ impl RewireMapper {
         cgra: &Cgra,
         limits: &MapLimits,
     ) -> (MapOutcome, RewireStats) {
-        let start = Instant::now();
-        let mut stats = MapStats {
-            mapper: self.name().to_string(),
-            kernel: dfg.name().to_string(),
-            ..MapStats::default()
-        };
-        let mut rstats = RewireStats::default();
-        let Some(mii) = dfg.mii(cgra) else {
-            stats.elapsed = start.elapsed();
-            return (
-                MapOutcome {
-                    mapping: None,
-                    stats,
-                },
-                rstats,
-            );
-        };
-        stats.mii = mii;
-        // The initial mapping only needs to be cheap and roughly sensible —
-        // Rewire amends it — so cap PF*'s per-placement evaluations instead
-        // of using its exhaustive evaluation mode.
-        let pf = PathFinderMapper::with_config(rewire_mappers::PathFinderConfig {
-            max_full_evals: 12,
-            ..Default::default()
-        });
-        let mut rng = StdRng::seed_from_u64(limits.seed ^ 0x5E11);
+        self.map_with_stats_and_events(dfg, cgra, limits, &mut Silent)
+    }
 
-        for ii in mii..=limits.max_ii {
-            stats.iis_explored += 1;
-            let deadline = Instant::now() + limits.ii_time_budget;
-            let Some(initial) = pf.initial_mapping(dfg, cgra, ii, limits.seed) else {
-                continue; // no modulo schedule at this II
-            };
-            // Randomised restarts within the per-II budget: a cluster
-            // amendment that dead-ends (greedy commits can paint into
-            // corners) is retried from the initial mapping with fresh
-            // random cluster selections — the paper's counterpart is its
-            // one-hour-per-II exploration budget.
-            let before = rstats.clusters_attempted;
-            let amended = if self.config.portfolio_width > 1 {
-                self.portfolio_amend(dfg, cgra, &initial, deadline, ii, limits, &mut rstats)
-            } else {
-                let mut amended = None;
-                let mut restarts = 0;
-                while amended.is_none()
-                    && restarts < self.config.max_restarts_per_ii
-                    && Instant::now() < deadline
-                {
-                    restarts += 1;
-                    // Later restarts diversify cluster sizes and candidate
-                    // order to escape greedy dead-ends.
-                    amended = self.amend_with(
-                        dfg,
-                        cgra,
-                        initial.clone(),
-                        deadline,
-                        &mut rng,
-                        &mut rstats,
-                        restarts > 1,
-                    );
-                }
-                amended
-            };
-            stats.remap_iterations += rstats.clusters_attempted - before;
-            if let Some(m) = amended {
-                debug_assert!(m.is_valid(dfg, cgra));
-                stats.achieved_ii = Some(ii);
-                stats.elapsed = start.elapsed();
-                return (
-                    MapOutcome {
-                        mapping: Some(m),
-                        stats,
-                    },
-                    rstats,
-                );
-            }
+    /// [`map_with_stats`](RewireMapper::map_with_stats) with an event sink.
+    pub fn map_with_stats_and_events(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        limits: &MapLimits,
+        events: &mut dyn EventSink,
+    ) -> (MapOutcome, RewireStats) {
+        let mut attempt = self.ii_attempt(limits);
+        let outcome = IiSearch::new(self.name()).run(dfg, cgra, limits, &mut attempt, events);
+        (outcome, attempt.rstats)
+    }
+
+    /// Builds the [`IiAttempt`] adapter driving this mapper through the
+    /// shared [`IiSearch`] engine. The restart RNG stream
+    /// (`seed ^ 0x5E11`) is created once and carried across IIs exactly as
+    /// the pre-engine loop did; the Rewire-specific counters accumulate in
+    /// [`RewireAttempt::rstats`].
+    pub fn ii_attempt(&self, limits: &MapLimits) -> RewireAttempt<'_> {
+        RewireAttempt {
+            mapper: self,
+            // The initial mapping only needs to be cheap and roughly
+            // sensible — Rewire amends it — so cap PF*'s per-placement
+            // evaluations instead of using its exhaustive evaluation mode.
+            pf: PathFinderMapper::with_config(rewire_mappers::PathFinderConfig {
+                max_full_evals: 12,
+                ..Default::default()
+            }),
+            rng: StdRng::seed_from_u64(limits.seed ^ 0x5E11),
+            rstats: RewireStats::default(),
         }
-        stats.elapsed = start.elapsed();
-        (
-            MapOutcome {
-                mapping: None,
-                stats,
-            },
-            rstats,
-        )
     }
 
     /// Races `portfolio_width` independently seeded restart workers over
@@ -556,13 +509,86 @@ impl RewireMapper {
     }
 }
 
-/// SplitMix64-style mix of `(base seed, II, worker rank)` into one worker
-/// seed. Pure function of its inputs so portfolio runs are reproducible.
-fn worker_seed(seed: u64, ii: u32, rank: u64) -> u64 {
-    let mut z = seed ^ 0x5E11 ^ (u64::from(ii) << 32) ^ rank.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+/// Rewire driven by the shared engine: per II, PF*'s initial mapping is
+/// amended by randomised restarts (serial or portfolio-parallel) within the
+/// engine's deadline. Accumulates the Rewire-specific counters in
+/// [`rstats`](RewireAttempt::rstats) across the whole II sweep.
+pub struct RewireAttempt<'m> {
+    mapper: &'m RewireMapper,
+    pf: PathFinderMapper,
+    rng: StdRng,
+    /// Rewire-specific counters accumulated over every attempted II.
+    pub rstats: RewireStats,
+}
+
+impl IiAttempt for RewireAttempt<'_> {
+    fn attempt(
+        &mut self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        ctx: &AttemptCtx<'_>,
+        events: &mut Emitter<'_>,
+    ) -> AttemptOutcome {
+        let ii = ctx.ii;
+        let Some(initial) = self.pf.initial_mapping(dfg, cgra, ii, ctx.limits.seed) else {
+            return AttemptOutcome::failed(0, 0); // no modulo schedule at this II
+        };
+        let initial_overuse = initial.total_overuse() as u64;
+        events.emit(MapEvent::NegotiationRound {
+            ii,
+            iteration: 0,
+            ill_nodes: initial.ill_mapped_nodes(dfg).len(),
+            overuse: initial_overuse,
+        });
+        // Randomised restarts within the per-II budget: a cluster
+        // amendment that dead-ends (greedy commits can paint into corners)
+        // is retried from the initial mapping with fresh random cluster
+        // selections — the paper's counterpart is its one-hour-per-II
+        // exploration budget.
+        let before = self.rstats.clusters_attempted;
+        let amended = if self.mapper.config.portfolio_width > 1 {
+            self.mapper.portfolio_amend(
+                dfg,
+                cgra,
+                &initial,
+                ctx.deadline,
+                ii,
+                ctx.limits,
+                &mut self.rstats,
+            )
+        } else {
+            let mut amended = None;
+            let mut restarts = 0;
+            while amended.is_none()
+                && restarts < self.mapper.config.max_restarts_per_ii
+                && Instant::now() < ctx.deadline
+            {
+                restarts += 1;
+                // Later restarts diversify cluster sizes and candidate
+                // order to escape greedy dead-ends.
+                amended = self.mapper.amend_with(
+                    dfg,
+                    cgra,
+                    initial.clone(),
+                    ctx.deadline,
+                    &mut self.rng,
+                    &mut self.rstats,
+                    restarts > 1,
+                );
+            }
+            amended
+        };
+        let iterations = self.rstats.clusters_attempted - before;
+        AttemptOutcome {
+            overuse: if amended.is_some() {
+                0
+            } else {
+                initial_overuse
+            },
+            mapping: amended,
+            iterations,
+        }
+    }
 }
 
 impl Mapper for RewireMapper {
@@ -570,8 +596,14 @@ impl Mapper for RewireMapper {
         "Rewire"
     }
 
-    fn map(&self, dfg: &Dfg, cgra: &Cgra, limits: &MapLimits) -> MapOutcome {
-        self.map_with_stats(dfg, cgra, limits).0
+    fn map_with_events(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        limits: &MapLimits,
+        events: &mut dyn EventSink,
+    ) -> MapOutcome {
+        self.map_with_stats_and_events(dfg, cgra, limits, events).0
     }
 }
 
@@ -638,15 +670,6 @@ mod tests {
         let b = RewireMapper::with_config(config).map(&dfg, &cgra, &limits);
         assert!(a.mapping.is_some(), "fir maps on 4x4/r4 under a portfolio");
         assert_eq!(a.stats.achieved_ii, b.stats.achieved_ii);
-    }
-
-    #[test]
-    fn worker_seeds_are_distinct_and_stable() {
-        let s0 = worker_seed(42, 2, 0);
-        assert_eq!(s0, worker_seed(42, 2, 0), "pure function of its inputs");
-        assert_ne!(s0, worker_seed(42, 2, 1), "ranks get distinct streams");
-        assert_ne!(s0, worker_seed(42, 3, 0), "IIs get distinct streams");
-        assert_ne!(s0, worker_seed(43, 2, 0), "seeds get distinct streams");
     }
 
     #[test]

@@ -8,8 +8,11 @@
 //! improved for 100 iterations; every accepted-or-rejected move counts as
 //! one single-node remapping iteration (Table I).
 
+use crate::engine::{
+    AttemptCtx, AttemptOutcome, Emitter, EventSink, IiAttempt, IiSearch, MapEvent,
+};
 use crate::schedule::{candidate_pes, modulo_schedule};
-use crate::{MapLimits, MapOutcome, MapStats, Mapper, Mapping};
+use crate::{MapLimits, MapOutcome, Mapper, Mapping};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rewire_arch::Cgra;
@@ -34,6 +37,10 @@ pub struct SaConfig {
     pub overuse_penalty: f64,
     /// Cost penalty per unrouted or timing-violated edge.
     pub unrouted_penalty: f64,
+    /// Cap on fresh random restarts per II (a stalled annealing run is
+    /// normally restarted until the per-II deadline; tests bound this so
+    /// outcomes don't depend on wall-clock timing).
+    pub max_restarts_per_ii: u64,
 }
 
 impl Default for SaConfig {
@@ -45,6 +52,7 @@ impl Default for SaConfig {
             max_iterations_per_ii: 3000,
             overuse_penalty: 12.0,
             unrouted_penalty: 25.0,
+            max_restarts_per_ii: u64::MAX,
         }
     }
 }
@@ -145,9 +153,10 @@ impl SaMapper {
         ii: u32,
         deadline: Instant,
         rng: &mut StdRng,
-    ) -> (Option<Mapping>, u64) {
+        events: &mut Emitter<'_>,
+    ) -> (Option<Mapping>, u64, u64) {
         let Some(asap) = modulo_schedule(dfg, cgra, ii) else {
-            return (None, 0);
+            return (None, 0, 0);
         };
         let mrrg = Mrrg::new(cgra, ii);
         let router = Router::new(cgra, &mrrg);
@@ -173,7 +182,15 @@ impl SaMapper {
         {
             if mapping.is_complete(dfg) {
                 debug_assert!(mapping.is_valid(dfg, cgra));
-                return (Some(mapping), iterations);
+                return (Some(mapping), iterations, 0);
+            }
+            if iterations > 0 && iterations.is_multiple_of(100) {
+                events.emit(MapEvent::NegotiationRound {
+                    ii,
+                    iteration: iterations,
+                    ill_nodes: mapping.ill_mapped_nodes(dfg).len(),
+                    overuse: mapping.total_overuse() as u64,
+                });
             }
             iterations += 1;
             temperature *= self.config.cooling;
@@ -230,9 +247,61 @@ impl SaMapper {
         }
         if mapping.is_complete(dfg) {
             debug_assert!(mapping.is_valid(dfg, cgra));
-            (Some(mapping), iterations)
+            (Some(mapping), iterations, 0)
         } else {
-            (None, iterations)
+            (None, iterations, mapping.total_overuse() as u64)
+        }
+    }
+
+    /// Builds the [`IiAttempt`] adapter driving this mapper through the
+    /// shared [`IiSearch`] engine. The RNG stream (`seed ^ 0x5A5A`) is
+    /// created once and carried across IIs exactly as the pre-engine loop
+    /// did.
+    pub fn ii_attempt(&self, limits: &MapLimits) -> SaAttempt<'_> {
+        SaAttempt {
+            mapper: self,
+            rng: StdRng::seed_from_u64(limits.seed ^ 0x5A5A),
+        }
+    }
+}
+
+/// SA driven by the shared engine: annealing runs with fresh random
+/// restarts until the per-II deadline (or the configured restart cap).
+pub struct SaAttempt<'m> {
+    mapper: &'m SaMapper,
+    rng: StdRng,
+}
+
+impl IiAttempt for SaAttempt<'_> {
+    fn attempt(
+        &mut self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        ctx: &AttemptCtx<'_>,
+        events: &mut Emitter<'_>,
+    ) -> AttemptOutcome {
+        // Use the full per-II budget: each stalled annealing run is
+        // followed by a fresh random restart.
+        let mut mapping = None;
+        let mut iterations = 0u64;
+        let mut overuse = 0u64;
+        let mut restarts = 0u64;
+        while mapping.is_none()
+            && restarts < self.mapper.config.max_restarts_per_ii
+            && Instant::now() < ctx.deadline
+        {
+            restarts += 1;
+            let (m, iters, ou) =
+                self.mapper
+                    .try_ii(dfg, cgra, ctx.ii, ctx.deadline, &mut self.rng, events);
+            iterations += iters;
+            overuse = ou;
+            mapping = m;
+        }
+        AttemptOutcome {
+            overuse: if mapping.is_some() { 0 } else { overuse },
+            mapping,
+            iterations,
         }
     }
 }
@@ -242,51 +311,14 @@ impl Mapper for SaMapper {
         "SA"
     }
 
-    fn map(&self, dfg: &Dfg, cgra: &Cgra, limits: &MapLimits) -> MapOutcome {
-        let start = Instant::now();
-        let mut stats = MapStats {
-            mapper: self.name().to_string(),
-            kernel: dfg.name().to_string(),
-            ..MapStats::default()
-        };
-        let Some(mii) = dfg.mii(cgra) else {
-            stats.elapsed = start.elapsed();
-            return MapOutcome {
-                mapping: None,
-                stats,
-            };
-        };
-        stats.mii = mii;
-        let mut rng = StdRng::seed_from_u64(limits.seed ^ 0x5A5A);
-        for ii in mii..=limits.max_ii {
-            stats.iis_explored += 1;
-            let deadline = Instant::now() + limits.ii_time_budget;
-            // Use the full per-II budget: each stalled annealing run is
-            // followed by a fresh random restart.
-            let mut mapping = None;
-            let mut iters_total = 0u64;
-            while mapping.is_none() && Instant::now() < deadline {
-                let (m, iters) = self.try_ii(dfg, cgra, ii, deadline, &mut rng);
-                iters_total += iters;
-                mapping = m;
-            }
-            let iters = iters_total;
-            stats.remap_iterations += iters;
-            if let Some(m) = mapping {
-                debug_assert!(m.is_valid(dfg, cgra));
-                stats.achieved_ii = Some(ii);
-                stats.elapsed = start.elapsed();
-                return MapOutcome {
-                    mapping: Some(m),
-                    stats,
-                };
-            }
-        }
-        stats.elapsed = start.elapsed();
-        MapOutcome {
-            mapping: None,
-            stats,
-        }
+    fn map_with_events(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        limits: &MapLimits,
+        events: &mut dyn EventSink,
+    ) -> MapOutcome {
+        IiSearch::new(self.name()).run(dfg, cgra, limits, &mut self.ii_attempt(limits), events)
     }
 }
 

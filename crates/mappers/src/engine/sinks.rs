@@ -1,0 +1,220 @@
+//! Pluggable consumers of the [`MapEvent`] stream.
+//!
+//! Three sinks cover the workspace's needs: [`Silent`] (the default —
+//! mapping stays allocation- and I/O-free), [`StderrProgress`] (compact
+//! human-readable progress lines), and [`JsonlTrace`] (one JSON object per
+//! event, the machine-readable trace the bench binaries expose via
+//! `--trace`). [`SharedSink`] adapts any sink for concurrent runs and
+//! [`Fanout`] duplicates the stream to several sinks at once.
+
+use super::events::{MapEvent, RunMeta};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A consumer of mapping events.
+///
+/// Implementations must be cheap when idle: the engine and the mappers
+/// emit events unconditionally, trusting sinks like [`Silent`] to make the
+/// instrumented path cost one virtual call.
+pub trait EventSink {
+    /// Consumes one event. `meta` identifies the run that produced it.
+    fn emit(&mut self, meta: &RunMeta<'_>, event: &MapEvent);
+}
+
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    fn emit(&mut self, meta: &RunMeta<'_>, event: &MapEvent) {
+        (**self).emit(meta, event)
+    }
+}
+
+/// Drops every event. The default sink of [`crate::Mapper::map`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Silent;
+
+impl EventSink for Silent {
+    fn emit(&mut self, _meta: &RunMeta<'_>, _event: &MapEvent) {}
+}
+
+/// Prints compact progress lines to stderr.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StderrProgress;
+
+impl EventSink for StderrProgress {
+    fn emit(&mut self, meta: &RunMeta<'_>, event: &MapEvent) {
+        let id = format!("{}/{}", meta.mapper, meta.kernel);
+        match event {
+            MapEvent::IiStarted { ii } => eprintln!("[{id}] II {ii}: attempting"),
+            MapEvent::NegotiationRound {
+                ii,
+                iteration,
+                ill_nodes,
+                overuse,
+            } => eprintln!("[{id}] II {ii}: round {iteration}, {ill_nodes} ill, overuse {overuse}"),
+            MapEvent::AttemptFinished {
+                ii,
+                routed,
+                overuse,
+                iterations,
+            } => {
+                let verdict = if *routed { "routed" } else { "failed" };
+                eprintln!(
+                    "[{id}] II {ii}: {verdict} after {iterations} iterations (overuse {overuse})"
+                )
+            }
+            MapEvent::Mapped {
+                ii,
+                iis_explored,
+                elapsed_us,
+            } => eprintln!(
+                "[{id}] mapped at II {ii} ({iis_explored} IIs, {:.1} ms)",
+                *elapsed_us as f64 / 1000.0
+            ),
+            MapEvent::GaveUp {
+                reason,
+                iis_explored,
+                elapsed_us,
+            } => eprintln!(
+                "[{id}] gave up ({}) after {iis_explored} IIs, {:.1} ms",
+                reason.label(),
+                *elapsed_us as f64 / 1000.0
+            ),
+        }
+    }
+}
+
+/// Appends one JSON object per event to a writer (JSON Lines).
+///
+/// Write errors are swallowed: tracing must never abort a mapping run.
+#[derive(Debug)]
+pub struct JsonlTrace<W: Write> {
+    out: W,
+}
+
+impl JsonlTrace<std::io::BufWriter<std::fs::File>> {
+    /// Creates (truncating) a trace file at `path`.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(Self::new(std::io::BufWriter::new(std::fs::File::create(
+            path,
+        )?)))
+    }
+}
+
+impl<W: Write> JsonlTrace<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+}
+
+impl<W: Write> EventSink for JsonlTrace<W> {
+    fn emit(&mut self, meta: &RunMeta<'_>, event: &MapEvent) {
+        let _ = writeln!(self.out, "{}", event.to_json(meta));
+    }
+}
+
+/// A cloneable, thread-safe handle to one shared sink.
+///
+/// The bench harness hands one clone to every worker thread of its
+/// `--jobs` fan-out, so events from concurrent runs interleave *per line*
+/// (each line still carries its [`RunMeta`] identity) without interleaving
+/// mid-line.
+#[derive(Clone)]
+pub struct SharedSink(Arc<Mutex<Box<dyn EventSink + Send>>>);
+
+impl SharedSink {
+    /// Wraps `sink` for shared use.
+    pub fn new(sink: impl EventSink + Send + 'static) -> Self {
+        Self(Arc::new(Mutex::new(Box::new(sink))))
+    }
+}
+
+impl std::fmt::Debug for SharedSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SharedSink")
+    }
+}
+
+impl EventSink for SharedSink {
+    fn emit(&mut self, meta: &RunMeta<'_>, event: &MapEvent) {
+        if let Ok(mut sink) = self.0.lock() {
+            sink.emit(meta, event);
+        }
+    }
+}
+
+/// Duplicates every event to each contained sink, in order.
+#[derive(Default)]
+pub struct Fanout(pub Vec<Box<dyn EventSink>>);
+
+impl EventSink for Fanout {
+    fn emit(&mut self, meta: &RunMeta<'_>, event: &MapEvent) {
+        for sink in &mut self.0 {
+            sink.emit(meta, event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::GiveUpReason;
+
+    fn meta() -> RunMeta<'static> {
+        RunMeta {
+            mapper: "SA",
+            kernel: "fir",
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_event() {
+        let mut sink = JsonlTrace::new(Vec::new());
+        sink.emit(&meta(), &MapEvent::IiStarted { ii: 2 });
+        sink.emit(
+            &meta(),
+            &MapEvent::GaveUp {
+                reason: GiveUpReason::MaxIiReached,
+                iis_explored: 1,
+                elapsed_us: 10,
+            },
+        );
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"mapper\":\"SA\""), "{line}");
+        }
+    }
+
+    #[test]
+    fn shared_sink_is_cloneable_and_send() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedSink>();
+        let mut a = SharedSink::new(Silent);
+        let mut b = a.clone();
+        a.emit(&meta(), &MapEvent::IiStarted { ii: 1 });
+        b.emit(&meta(), &MapEvent::IiStarted { ii: 2 });
+    }
+
+    #[test]
+    fn fanout_forwards_to_every_sink() {
+        struct Count(std::rc::Rc<std::cell::Cell<u32>>);
+        impl EventSink for Count {
+            fn emit(&mut self, _: &RunMeta<'_>, _: &MapEvent) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        let n = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut fan = Fanout(vec![Box::new(Count(n.clone())), Box::new(Count(n.clone()))]);
+        fan.emit(&meta(), &MapEvent::IiStarted { ii: 1 });
+        assert_eq!(n.get(), 2);
+    }
+}

@@ -6,6 +6,10 @@
 //! true minimum achievable II under this workspace's timing model. The
 //! search is exponential; it is deliberately restricted to small graphs.
 
+use crate::engine::{
+    AttemptCtx, AttemptOutcome, Emitter, EventSink, GiveUpReason, IiAttempt, IiSearch, MapEvent,
+    RunMeta,
+};
 use crate::schedule::candidate_pes;
 use crate::{MapLimits, MapOutcome, MapStats, Mapper, Mapping};
 use rewire_dfg::{Dfg, NodeId};
@@ -149,51 +153,73 @@ impl ExhaustiveMapper {
     }
 }
 
+/// The oracle driven by the shared engine. Stateless across IIs: one
+/// branch-and-bound search per II under the engine's deadline.
+pub struct ExhaustiveAttempt<'m> {
+    mapper: &'m ExhaustiveMapper,
+}
+
+impl IiAttempt for ExhaustiveAttempt<'_> {
+    fn attempt(
+        &mut self,
+        dfg: &Dfg,
+        cgra: &rewire_arch::Cgra,
+        ctx: &AttemptCtx<'_>,
+        _events: &mut Emitter<'_>,
+    ) -> AttemptOutcome {
+        match self.mapper.try_ii(dfg, cgra, ctx.ii, ctx.deadline) {
+            Some(m) => AttemptOutcome::mapped(m, 0),
+            None => AttemptOutcome::failed(0, 0),
+        }
+    }
+}
+
 impl Mapper for ExhaustiveMapper {
     fn name(&self) -> &'static str {
         "Exhaustive"
     }
 
-    fn map(&self, dfg: &Dfg, cgra: &rewire_arch::Cgra, limits: &MapLimits) -> MapOutcome {
-        let start = Instant::now();
-        let mut stats = MapStats {
-            mapper: self.name().to_string(),
-            kernel: dfg.name().to_string(),
-            ..MapStats::default()
-        };
+    fn map_with_events(
+        &self,
+        dfg: &Dfg,
+        cgra: &rewire_arch::Cgra,
+        limits: &MapLimits,
+        events: &mut dyn EventSink,
+    ) -> MapOutcome {
+        // The node-count guard sits in front of the engine: the oracle
+        // refuses large instances outright, before any II is explored.
         if dfg.num_nodes() > self.max_nodes {
-            stats.elapsed = start.elapsed();
+            let start = Instant::now();
+            let stats = MapStats {
+                mapper: self.name().to_string(),
+                kernel: dfg.name().to_string(),
+                elapsed: start.elapsed(),
+                ..MapStats::default()
+            };
+            events.emit(
+                &RunMeta {
+                    mapper: self.name(),
+                    kernel: dfg.name(),
+                    seed: limits.seed,
+                },
+                &MapEvent::GaveUp {
+                    reason: GiveUpReason::Refused,
+                    iis_explored: 0,
+                    elapsed_us: stats.elapsed.as_micros(),
+                },
+            );
             return MapOutcome {
                 mapping: None,
                 stats,
             };
         }
-        let Some(mii) = dfg.mii(cgra) else {
-            stats.elapsed = start.elapsed();
-            return MapOutcome {
-                mapping: None,
-                stats,
-            };
-        };
-        stats.mii = mii;
-        for ii in mii..=limits.max_ii {
-            stats.iis_explored += 1;
-            let deadline = Instant::now() + limits.ii_time_budget;
-            if let Some(m) = self.try_ii(dfg, cgra, ii, deadline) {
-                debug_assert!(m.is_valid(dfg, cgra));
-                stats.achieved_ii = Some(ii);
-                stats.elapsed = start.elapsed();
-                return MapOutcome {
-                    mapping: Some(m),
-                    stats,
-                };
-            }
-        }
-        stats.elapsed = start.elapsed();
-        MapOutcome {
-            mapping: None,
-            stats,
-        }
+        IiSearch::new(self.name()).run(
+            dfg,
+            cgra,
+            limits,
+            &mut ExhaustiveAttempt { mapper: self },
+            events,
+        )
     }
 }
 

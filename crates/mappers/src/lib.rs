@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod annealing;
+pub mod engine;
 mod exhaustive;
 mod limits;
 mod mapping;
@@ -39,11 +40,12 @@ mod schedule;
 mod stats;
 mod traits;
 
-pub use annealing::{SaConfig, SaMapper};
-pub use exhaustive::ExhaustiveMapper;
+pub use annealing::{SaAttempt, SaConfig, SaMapper};
+pub use engine::{EventSink, IiAttempt, IiSearch, MapEvent, Silent};
+pub use exhaustive::{ExhaustiveAttempt, ExhaustiveMapper};
 pub use limits::MapLimits;
 pub use mapping::{Mapping, MappingIssue};
-pub use pathfinder::{PathFinderConfig, PathFinderMapper};
+pub use pathfinder::{PathFinderAttempt, PathFinderConfig, PathFinderMapper};
 pub use schedule::{candidate_pes, default_horizon, modulo_schedule, schedule_asap, time_window};
 pub use stats::MapStats;
 pub use traits::{MapOutcome, Mapper};

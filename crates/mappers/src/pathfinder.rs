@@ -16,8 +16,11 @@
 //! Every rip-up/re-place counts as one *single-node remapping iteration* —
 //! the quantity Table I reports.
 
+use crate::engine::{
+    AttemptCtx, AttemptOutcome, Emitter, EventSink, IiAttempt, IiSearch, MapEvent,
+};
 use crate::schedule::{candidate_pes, modulo_schedule};
-use crate::{MapLimits, MapOutcome, MapStats, Mapper, Mapping};
+use crate::{MapLimits, MapOutcome, Mapper, Mapping};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rewire_arch::{Cgra, PeId};
@@ -110,8 +113,9 @@ impl PathFinderMapper {
         Some(mapping)
     }
 
-    /// One full II attempt. Returns the mapping on success and the number
-    /// of remapping iterations spent either way.
+    /// One full II attempt. Returns the mapping on success, the number of
+    /// remapping iterations spent either way, and the residual overuse on
+    /// failure.
     fn try_ii(
         &self,
         dfg: &Dfg,
@@ -119,9 +123,10 @@ impl PathFinderMapper {
         ii: u32,
         deadline: Instant,
         rng: &mut StdRng,
-    ) -> (Option<Mapping>, u64) {
+        events: &mut Emitter<'_>,
+    ) -> (Option<Mapping>, u64, u64) {
         let Some(asap) = modulo_schedule(dfg, cgra, ii) else {
-            return (None, 0);
+            return (None, 0, 0);
         };
         let mrrg = Mrrg::new(cgra, ii);
         let router = Router::new(cgra, &mrrg);
@@ -163,9 +168,17 @@ impl PathFinderMapper {
         while iterations < self.config.max_iterations_per_ii && Instant::now() < deadline {
             if mapping.is_complete(dfg) {
                 debug_assert!(mapping.is_valid(dfg, cgra));
-                return (Some(mapping), iterations);
+                return (Some(mapping), iterations, 0);
             }
             let ill_count = mapping.ill_mapped_nodes(dfg).len();
+            if iterations > 0 && iterations.is_multiple_of(50) {
+                events.emit(MapEvent::NegotiationRound {
+                    ii,
+                    iteration: iterations,
+                    ill_nodes: ill_count,
+                    overuse: mapping.total_overuse() as u64,
+                });
+            }
             if ill_count < best_ill {
                 best_ill = ill_count;
                 stall = 0;
@@ -229,7 +242,7 @@ impl PathFinderMapper {
         }
         if mapping.is_complete(dfg) {
             debug_assert!(mapping.is_valid(dfg, cgra));
-            return (Some(mapping), iterations);
+            return (Some(mapping), iterations, 0);
         }
         if std::env::var_os("PF_DEBUG").is_some() {
             eprintln!(
@@ -276,7 +289,18 @@ impl PathFinderMapper {
                 }
             }
         }
-        (None, iterations)
+        (None, iterations, mapping.total_overuse() as u64)
+    }
+
+    /// Builds the [`IiAttempt`] adapter driving this mapper through the
+    /// shared [`IiSearch`] engine. The adapter owns the RNG stream, seeded
+    /// from `limits.seed` once and carried across IIs exactly as the
+    /// pre-engine loop did.
+    pub fn ii_attempt(&self, limits: &MapLimits) -> PathFinderAttempt<'_> {
+        PathFinderAttempt {
+            mapper: self,
+            rng: StdRng::seed_from_u64(limits.seed),
+        }
     }
 
     /// Chooses the node to rip up: an unplaced node if any, otherwise the
@@ -544,56 +568,61 @@ impl PathFinderMapper {
     }
 }
 
+/// PF* driven by the shared engine: one II attempt (or, under
+/// `use_full_budget`, restarts until the per-II deadline) with the RNG
+/// stream carried across IIs.
+pub struct PathFinderAttempt<'m> {
+    mapper: &'m PathFinderMapper,
+    rng: StdRng,
+}
+
+impl IiAttempt for PathFinderAttempt<'_> {
+    fn attempt(
+        &mut self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        ctx: &AttemptCtx<'_>,
+        events: &mut Emitter<'_>,
+    ) -> AttemptOutcome {
+        // One attempt per II by default: PF* "can terminate early at each
+        // II due to the backtracking limitation" (paper §V-B). Under
+        // `use_full_budget` the attempt is restarted with fresh randomness
+        // until the shared per-II budget runs out.
+        let (mut mapping, mut iterations, mut overuse) =
+            self.mapper
+                .try_ii(dfg, cgra, ctx.ii, ctx.deadline, &mut self.rng, events);
+        while self.mapper.config.use_full_budget
+            && mapping.is_none()
+            && Instant::now() < ctx.deadline
+        {
+            let (m, iters, ou) =
+                self.mapper
+                    .try_ii(dfg, cgra, ctx.ii, ctx.deadline, &mut self.rng, events);
+            iterations += iters;
+            overuse = ou;
+            mapping = m;
+        }
+        AttemptOutcome {
+            overuse: if mapping.is_some() { 0 } else { overuse },
+            mapping,
+            iterations,
+        }
+    }
+}
+
 impl Mapper for PathFinderMapper {
     fn name(&self) -> &'static str {
         "PF*"
     }
 
-    fn map(&self, dfg: &Dfg, cgra: &Cgra, limits: &MapLimits) -> MapOutcome {
-        let start = Instant::now();
-        let mut stats = MapStats {
-            mapper: self.name().to_string(),
-            kernel: dfg.name().to_string(),
-            ..MapStats::default()
-        };
-        let Some(mii) = dfg.mii(cgra) else {
-            stats.elapsed = start.elapsed();
-            return MapOutcome {
-                mapping: None,
-                stats,
-            };
-        };
-        stats.mii = mii;
-        let mut rng = StdRng::seed_from_u64(limits.seed);
-        for ii in mii..=limits.max_ii {
-            stats.iis_explored += 1;
-            let deadline = Instant::now() + limits.ii_time_budget;
-            // One attempt per II by default: PF* "can terminate early at
-            // each II due to the backtracking limitation" (paper §V-B).
-            // Under `use_full_budget` the attempt is restarted with fresh
-            // randomness until the shared per-II budget runs out.
-            let (mut mapping, iters) = self.try_ii(dfg, cgra, ii, deadline, &mut rng);
-            stats.remap_iterations += iters;
-            while self.config.use_full_budget && mapping.is_none() && Instant::now() < deadline {
-                let (m, iters) = self.try_ii(dfg, cgra, ii, deadline, &mut rng);
-                stats.remap_iterations += iters;
-                mapping = m;
-            }
-            if let Some(m) = mapping {
-                debug_assert!(m.is_valid(dfg, cgra));
-                stats.achieved_ii = Some(ii);
-                stats.elapsed = start.elapsed();
-                return MapOutcome {
-                    mapping: Some(m),
-                    stats,
-                };
-            }
-        }
-        stats.elapsed = start.elapsed();
-        MapOutcome {
-            mapping: None,
-            stats,
-        }
+    fn map_with_events(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        limits: &MapLimits,
+        events: &mut dyn EventSink,
+    ) -> MapOutcome {
+        IiSearch::new(self.name()).run(dfg, cgra, limits, &mut self.ii_attempt(limits), events)
     }
 }
 

@@ -1,5 +1,6 @@
 //! The common mapper interface.
 
+use crate::engine::{EventSink, Silent};
 use crate::{MapLimits, MapStats, Mapping};
 use rewire_arch::Cgra;
 use rewire_dfg::Dfg;
@@ -23,11 +24,26 @@ pub trait Mapper {
     /// Display name used in tables (`"PF*"`, `"SA"`, `"Rewire"`).
     fn name(&self) -> &'static str;
 
-    /// Attempts to map `dfg` onto `cgra`.
+    /// Attempts to map `dfg` onto `cgra`, reporting progress to `events`.
     ///
-    /// Contract: if `MapOutcome::mapping` is `Some`, it validates cleanly
-    /// against `dfg`/`cgra` and its II equals `stats.achieved_ii`.
-    fn map(&self, dfg: &Dfg, cgra: &Cgra, limits: &MapLimits) -> MapOutcome;
+    /// Contract (audited by the shared conformance suite): if
+    /// `MapOutcome::mapping` is `Some`, it validates cleanly against
+    /// `dfg`/`cgra` and its II equals `stats.achieved_ii`; on failure
+    /// `stats` is still fully populated; and identical inputs (same seed,
+    /// same budgets, caps binding before wall-clock deadlines) produce
+    /// identical outcomes.
+    fn map_with_events(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        limits: &MapLimits,
+        events: &mut dyn EventSink,
+    ) -> MapOutcome;
+
+    /// Attempts to map `dfg` onto `cgra`, discarding events.
+    fn map(&self, dfg: &Dfg, cgra: &Cgra, limits: &MapLimits) -> MapOutcome {
+        self.map_with_events(dfg, cgra, limits, &mut Silent)
+    }
 }
 
 #[cfg(test)]

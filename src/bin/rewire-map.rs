@@ -35,6 +35,8 @@ struct Args {
     show_config: bool,
     dot: Option<String>,
     verify: u32,
+    trace: Option<String>,
+    progress: bool,
 }
 
 impl Args {
@@ -57,6 +59,8 @@ impl Args {
             show_config: false,
             dot: None,
             verify: 0,
+            trace: None,
+            progress: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -100,6 +104,8 @@ impl Args {
                         .parse()
                         .map_err(|e| format!("--verify: {e}"))?
                 }
+                "--trace" => a.trace = Some(val("--trace")?),
+                "--progress" => a.progress = true,
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
             }
@@ -124,7 +130,9 @@ usage: rewire-map (--kernel <name> | --dfg <file>) [options]
   --show-grid                      render the per-slot placement grid
   --show-config                    dump the per-slot configuration words
   --dot <file>                     write the DFG in Graphviz DOT
-  --verify N                       simulate N iterations and check semantics";
+  --verify N                       simulate N iterations and check semantics
+  --trace <file>                   write a JSONL MapEvent trace of the run
+  --progress                       print per-II mapping progress to stderr";
 
 fn build_cgra(a: &Args) -> Result<Cgra, String> {
     if let Some(arch) = &a.arch {
@@ -205,7 +213,26 @@ fn main() -> ExitCode {
         .with_max_ii(args.max_ii)
         .with_seed(args.seed);
 
-    let outcome = mapper.map(&dfg, &cgra, &limits);
+    // Compose the requested sinks: trace and progress can run together.
+    let mut sinks = rewire::mappers::engine::Fanout::default();
+    if let Some(path) = &args.trace {
+        match JsonlTrace::create(path) {
+            Ok(sink) => sinks.0.push(Box::new(sink)),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if args.progress {
+        sinks.0.push(Box::new(StderrProgress));
+    }
+
+    let outcome = mapper.map_with_events(&dfg, &cgra, &limits, &mut sinks);
+    drop(sinks); // flush the trace file before reporting
+    if let Some(path) = &args.trace {
+        println!("trace written to {path}");
+    }
     let Some(mapping) = &outcome.mapping else {
         eprintln!(
             "{}: no mapping within budget (explored {} IIs in {:?})",

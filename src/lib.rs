@@ -46,6 +46,7 @@ pub mod prelude {
     pub use rewire_arch::{presets, Cgra, CgraBuilder, OpKind, PeId};
     pub use rewire_core::{RewireConfig, RewireMapper, RewireStats};
     pub use rewire_dfg::{kernels, Dfg, NodeId};
+    pub use rewire_mappers::engine::{EventSink, JsonlTrace, MapEvent, Silent, StderrProgress};
     pub use rewire_mappers::{
         MapLimits, MapOutcome, MapStats, Mapper, Mapping, PathFinderMapper, SaMapper,
     };

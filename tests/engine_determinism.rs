@@ -1,0 +1,187 @@
+//! The refactor-safety net for the shared `IiSearch` engine: per-mapper
+//! results on the full kernel suite must be byte-identical run to run, and
+//! identical to a hand-rolled replica of the pre-engine ascending-II loop
+//! driving the same `IiAttempt` adapters (same seeds, same achieved IIs,
+//! same iteration counts, same placements).
+//!
+//! All configs bound every stochastic loop by *deterministic caps*
+//! (iterations, restarts, cluster attempts) under a budget so generous the
+//! wall-clock deadline never binds — the precondition for byte-identical
+//! reruns.
+
+use rewire::prelude::*;
+use rewire_mappers::engine::{worker_seed, AttemptCtx, Emitter, IiAttempt, RunMeta, Silent};
+use rewire_mappers::{PathFinderConfig, SaConfig};
+use std::time::{Duration, Instant};
+
+/// Everything a mapping run produces, down to the exact placement.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    achieved_ii: Option<u32>,
+    iis_explored: u32,
+    remap_iterations: u64,
+    placements: Option<Vec<Option<(PeId, u32)>>>,
+}
+
+fn fingerprint(dfg: &Dfg, out: &MapOutcome) -> Fingerprint {
+    Fingerprint {
+        achieved_ii: out.stats.achieved_ii,
+        iis_explored: out.stats.iis_explored,
+        remap_iterations: out.stats.remap_iterations,
+        placements: out
+            .mapping
+            .as_ref()
+            .map(|m| dfg.node_ids().map(|n| m.placement(n)).collect()),
+    }
+}
+
+/// Per-kernel limits: deterministic caps bind, the deadline never does,
+/// and the sweep stops one II past the theoretical minimum to keep the
+/// debug-mode suite fast.
+fn limits_for(dfg: &Dfg, cgra: &Cgra) -> Option<MapLimits> {
+    let mii = dfg.mii(cgra)?;
+    Some(
+        MapLimits::fast()
+            .with_seed(0xFACADE)
+            .with_ii_time_budget(Duration::from_secs(600))
+            .with_max_ii(mii + 1),
+    )
+}
+
+/// Mappers with every stochastic loop capped deterministically.
+fn capped_mappers() -> Vec<Box<dyn Mapper>> {
+    vec![
+        Box::new(RewireMapper::with_config(RewireConfig {
+            max_cluster_attempts: 6,
+            max_restarts_per_ii: 1,
+            ..Default::default()
+        })),
+        Box::new(PathFinderMapper::with_config(PathFinderConfig {
+            max_iterations_per_ii: 60,
+            max_full_evals: 6,
+            ..Default::default()
+        })),
+        Box::new(SaMapper::with_config(SaConfig {
+            max_iterations_per_ii: 150,
+            max_restarts_per_ii: 1,
+            ..Default::default()
+        })),
+    ]
+}
+
+#[test]
+fn suite_results_are_byte_identical_run_to_run() {
+    let cgra = presets::paper_4x4_r4();
+    let suite = kernels::all();
+    assert!(suite.len() >= 30, "the full benchmark suite");
+    for mapper in capped_mappers() {
+        for (name, dfg) in &suite {
+            let Some(limits) = limits_for(dfg, &cgra) else {
+                continue;
+            };
+            let a = fingerprint(dfg, &mapper.map(dfg, &cgra, &limits));
+            let b = fingerprint(dfg, &mapper.map(dfg, &cgra, &limits));
+            assert_eq!(a, b, "{} on {name} diverged between reruns", mapper.name());
+        }
+    }
+}
+
+/// A faithful replica of the outer loop every mapper used to hand-roll
+/// before the engine existed: `iis_explored` incremented per II, the per-II
+/// deadline computed at the top of each iteration, the attempt invoked, and
+/// the first success returned.
+fn legacy_loop(
+    name: &str,
+    attempt: &mut dyn IiAttempt,
+    dfg: &Dfg,
+    cgra: &Cgra,
+    limits: &MapLimits,
+) -> Fingerprint {
+    let mut iis_explored = 0u32;
+    let mut remap_iterations = 0u64;
+    let Some(mii) = dfg.mii(cgra) else {
+        return Fingerprint {
+            achieved_ii: None,
+            iis_explored,
+            remap_iterations,
+            placements: None,
+        };
+    };
+    for ii in mii..=limits.max_ii {
+        iis_explored += 1;
+        let deadline = Instant::now() + limits.ii_time_budget;
+        let ctx = AttemptCtx {
+            ii,
+            mii,
+            deadline,
+            seed: worker_seed(limits.seed, ii, 0),
+            limits,
+        };
+        let mut sink = Silent;
+        let mut emitter = Emitter::new(
+            RunMeta {
+                mapper: name,
+                kernel: dfg.name(),
+                seed: limits.seed,
+            },
+            &mut sink,
+        );
+        let out = attempt.attempt(dfg, cgra, &ctx, &mut emitter);
+        remap_iterations += out.iterations;
+        if let Some(m) = out.mapping {
+            return Fingerprint {
+                achieved_ii: Some(ii),
+                iis_explored,
+                remap_iterations,
+                placements: Some(dfg.node_ids().map(|n| m.placement(n)).collect()),
+            };
+        }
+    }
+    Fingerprint {
+        achieved_ii: None,
+        iis_explored,
+        remap_iterations,
+        placements: None,
+    }
+}
+
+#[test]
+fn engine_matches_the_legacy_hand_rolled_loop() {
+    let cgra = presets::paper_4x4_r4();
+    let suite = kernels::all();
+    let pf_config = PathFinderConfig {
+        max_iterations_per_ii: 60,
+        max_full_evals: 6,
+        ..Default::default()
+    };
+    let sa_config = SaConfig {
+        max_iterations_per_ii: 150,
+        max_restarts_per_ii: 1,
+        ..Default::default()
+    };
+    let rw_config = RewireConfig {
+        max_cluster_attempts: 6,
+        max_restarts_per_ii: 1,
+        ..Default::default()
+    };
+    for (name, dfg) in &suite {
+        let Some(limits) = limits_for(dfg, &cgra) else {
+            continue;
+        };
+
+        let pf = PathFinderMapper::with_config(pf_config.clone());
+        let engine = fingerprint(dfg, &pf.map(dfg, &cgra, &limits));
+        let legacy = legacy_loop("PF*", &mut pf.ii_attempt(&limits), dfg, &cgra, &limits);
+        assert_eq!(engine, legacy, "PF* on {name}: engine vs legacy loop");
+
+        let sa = SaMapper::with_config(sa_config.clone());
+        let engine = fingerprint(dfg, &sa.map(dfg, &cgra, &limits));
+        let legacy = legacy_loop("SA", &mut sa.ii_attempt(&limits), dfg, &cgra, &limits);
+        assert_eq!(engine, legacy, "SA on {name}: engine vs legacy loop");
+
+        let rw = RewireMapper::with_config(rw_config.clone());
+        let engine = fingerprint(dfg, &rw.map(dfg, &cgra, &limits));
+        let legacy = legacy_loop("Rewire", &mut rw.ii_attempt(&limits), dfg, &cgra, &limits);
+        assert_eq!(engine, legacy, "Rewire on {name}: engine vs legacy loop");
+    }
+}

@@ -1,0 +1,241 @@
+//! The shared `Mapper` conformance suite: every mapper in the workspace —
+//! Rewire, PF*, and SA — must satisfy the documented contract of
+//! `Mapper::map` / `map_with_events`, now that all of them route through
+//! the shared `IiSearch` engine.
+//!
+//! Audited invariants:
+//!
+//! * a returned mapping validates against the DFG/CGRA and its II equals
+//!   `stats.achieved_ii`,
+//! * budget exhaustion returns `None` with still-populated stats,
+//! * identical seed ⇒ identical outcome (down to the exact placement),
+//! * the event stream is well-formed: balanced `IiStarted` /
+//!   `AttemptFinished` pairs and exactly one terminal event.
+
+use rewire::prelude::*;
+use rewire_mappers::engine::{EventSink, GiveUpReason, MapEvent, RunMeta};
+use std::time::Duration;
+
+/// The three mappers of the evaluation, freshly built per call.
+fn mappers() -> Vec<Box<dyn Mapper>> {
+    vec![
+        Box::new(RewireMapper::new()),
+        Box::new(PathFinderMapper::new()),
+        Box::new(SaMapper::new()),
+    ]
+}
+
+/// A small kernel every mapper handles quickly at its first feasible II.
+fn small_kernel() -> Dfg {
+    let mut dfg = Dfg::new("conf-chain");
+    let mut prev = dfg.add_node("ld", OpKind::Load);
+    for i in 0..5 {
+        let n = dfg.add_node(format!("a{i}"), OpKind::Add);
+        dfg.add_edge(prev, n, 0).unwrap();
+        prev = n;
+    }
+    dfg
+}
+
+/// Full placement fingerprint for byte-identical comparisons.
+fn placements(dfg: &Dfg, mapping: &Mapping) -> Vec<Option<(PeId, u32)>> {
+    dfg.node_ids().map(|n| mapping.placement(n)).collect()
+}
+
+#[derive(Default)]
+struct Recorder(Vec<MapEvent>);
+
+impl EventSink for Recorder {
+    fn emit(&mut self, _meta: &RunMeta<'_>, event: &MapEvent) {
+        self.0.push(event.clone());
+    }
+}
+
+#[test]
+fn returned_mappings_validate_and_match_achieved_ii() {
+    let cgra = presets::paper_4x4_r4();
+    let dfg = small_kernel();
+    let limits = MapLimits::fast().with_ii_time_budget(Duration::from_secs(30));
+    for mapper in mappers() {
+        let out = mapper.map(&dfg, &cgra, &limits);
+        let m = out
+            .mapping
+            .unwrap_or_else(|| panic!("{} maps the conformance chain", mapper.name()));
+        assert!(m.is_valid(&dfg, &cgra), "{}", mapper.name());
+        assert_eq!(
+            Some(m.ii()),
+            out.stats.achieved_ii,
+            "{}: mapping II must equal stats.achieved_ii",
+            mapper.name()
+        );
+        assert!(out.stats.achieved_ii.unwrap() >= out.stats.mii);
+        assert!(out.stats.iis_explored >= 1);
+        assert!(out.stats.elapsed > Duration::ZERO);
+    }
+}
+
+#[test]
+fn exhausted_total_budget_returns_none_with_populated_stats() {
+    let cgra = presets::paper_4x4_r4();
+    let dfg = small_kernel();
+    // A zero total budget deterministically exhausts before the first II.
+    let limits = MapLimits::fast().with_total_time_budget(Duration::ZERO);
+    for mapper in mappers() {
+        let mut recorder = Recorder::default();
+        let out = mapper.map_with_events(&dfg, &cgra, &limits, &mut recorder);
+        assert!(out.mapping.is_none(), "{}", mapper.name());
+        assert_eq!(out.stats.mapper, mapper.name());
+        assert_eq!(out.stats.kernel, dfg.name());
+        assert!(out.stats.mii >= 1, "{}: MII still computed", mapper.name());
+        assert_eq!(out.stats.achieved_ii, None);
+        assert_eq!(out.stats.iis_explored, 0);
+        assert_eq!(
+            recorder.0,
+            vec![MapEvent::GaveUp {
+                reason: GiveUpReason::TotalBudget,
+                iis_explored: 0,
+                elapsed_us: match &recorder.0[..] {
+                    [MapEvent::GaveUp { elapsed_us, .. }] => *elapsed_us,
+                    other => panic!("{}: expected a lone GaveUp, got {other:?}", mapper.name()),
+                },
+            }],
+            "{}",
+            mapper.name()
+        );
+    }
+}
+
+#[test]
+fn exhausted_max_ii_returns_none_with_populated_stats() {
+    // An accumulator loop (RecMII 2) cannot map at II 1, so capping the
+    // search at max_ii = 1 exhausts the sweep without any timing effects.
+    let cgra = presets::paper_4x4_r4();
+    let mut dfg = Dfg::new("acc");
+    let phi = dfg.add_node("phi", OpKind::Phi);
+    let c = dfg.add_node("c", OpKind::Const);
+    let add = dfg.add_node("add", OpKind::Add);
+    dfg.add_edge(phi, add, 0).unwrap();
+    dfg.add_edge(c, add, 0).unwrap();
+    dfg.add_edge(add, phi, 1).unwrap();
+    let mii = dfg.mii(&cgra).unwrap();
+    assert!(mii >= 2, "accumulator RecMII");
+    let limits = MapLimits::fast().with_max_ii(1);
+    for mapper in mappers() {
+        let out = mapper.map(&dfg, &cgra, &limits);
+        assert!(out.mapping.is_none(), "{}", mapper.name());
+        assert_eq!(out.stats.mii, mii, "{}", mapper.name());
+        assert_eq!(out.stats.achieved_ii, None);
+        assert_eq!(
+            out.stats.iis_explored,
+            0,
+            "{}: mii > max_ii explores nothing",
+            mapper.name()
+        );
+    }
+}
+
+#[test]
+fn identical_seed_gives_identical_outcome() {
+    let cgra = presets::paper_4x4_r4();
+    let dfg = small_kernel();
+    // A generous per-II budget keeps the deterministic attempt caps (not
+    // the wall-clock deadline) binding — the precondition for determinism.
+    let limits = MapLimits::fast()
+        .with_seed(0xD15EA5E)
+        .with_ii_time_budget(Duration::from_secs(60));
+    for mapper in mappers() {
+        let a = mapper.map(&dfg, &cgra, &limits);
+        let b = mapper.map(&dfg, &cgra, &limits);
+        assert_eq!(
+            a.stats.achieved_ii,
+            b.stats.achieved_ii,
+            "{}",
+            mapper.name()
+        );
+        assert_eq!(
+            a.stats.iis_explored,
+            b.stats.iis_explored,
+            "{}",
+            mapper.name()
+        );
+        assert_eq!(
+            a.stats.remap_iterations,
+            b.stats.remap_iterations,
+            "{}",
+            mapper.name()
+        );
+        let (ma, mb) = (a.mapping.unwrap(), b.mapping.unwrap());
+        assert_eq!(
+            placements(&dfg, &ma),
+            placements(&dfg, &mb),
+            "{}: identical seeds must reproduce the exact placement",
+            mapper.name()
+        );
+    }
+}
+
+#[test]
+fn event_stream_is_well_formed() {
+    let cgra = presets::paper_4x4_r4();
+    let dfg = small_kernel();
+    let limits = MapLimits::fast().with_ii_time_budget(Duration::from_secs(30));
+    for mapper in mappers() {
+        let mut recorder = Recorder::default();
+        let out = mapper.map_with_events(&dfg, &cgra, &limits, &mut recorder);
+        assert!(out.mapping.is_some(), "{}", mapper.name());
+        let events = &recorder.0;
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, MapEvent::IiStarted { .. }))
+            .count();
+        let finishes = events
+            .iter()
+            .filter(|e| matches!(e, MapEvent::AttemptFinished { .. }))
+            .count();
+        assert_eq!(
+            starts,
+            finishes,
+            "{}: balanced attempt events",
+            mapper.name()
+        );
+        assert_eq!(
+            starts as u32,
+            out.stats.iis_explored,
+            "{}: one IiStarted per explored II",
+            mapper.name()
+        );
+        let terminals = events
+            .iter()
+            .filter(|e| matches!(e, MapEvent::Mapped { .. } | MapEvent::GaveUp { .. }))
+            .count();
+        assert_eq!(
+            terminals,
+            1,
+            "{}: exactly one terminal event",
+            mapper.name()
+        );
+        match events.last() {
+            Some(MapEvent::Mapped {
+                ii, iis_explored, ..
+            }) => {
+                assert_eq!(Some(*ii), out.stats.achieved_ii, "{}", mapper.name());
+                assert_eq!(*iis_explored, out.stats.iis_explored, "{}", mapper.name());
+            }
+            other => panic!("{}: expected Mapped last, got {other:?}", mapper.name()),
+        }
+        // The last AttemptFinished must be the successful one.
+        match events
+            .iter()
+            .rev()
+            .find(|e| matches!(e, MapEvent::AttemptFinished { .. }))
+        {
+            Some(MapEvent::AttemptFinished {
+                routed, overuse, ..
+            }) => {
+                assert!(*routed, "{}", mapper.name());
+                assert_eq!(*overuse, 0, "{}: success carries no overuse", mapper.name());
+            }
+            _ => unreachable!(),
+        }
+    }
+}
