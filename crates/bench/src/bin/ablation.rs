@@ -4,7 +4,7 @@
 //! * Algorithm 2 search budgets (tiny verification budget vs default),
 //! * amendment restarts on vs off.
 //!
-//! Usage: `cargo run -p rewire-bench --release --bin ablation [seconds_per_ii] [--jobs N]`
+//! Usage: `cargo run -p rewire-bench --release --bin ablation [seconds_per_ii] [--jobs N] [--metrics FILE]`
 
 use rewire_arch::presets;
 use rewire_bench::{parallel_map, parse_cli};
@@ -101,4 +101,9 @@ fn main() {
     for (name, (with, single)) in suite.iter().zip(&restart_rows) {
         println!("{name:<10} {with:>9} {single:>9}");
     }
+
+    // The mappers record into the global registry unconditionally, so the
+    // snapshot captures every ablation variant's counters even though this
+    // binary drives the mappers directly (no event sink involved).
+    args.write_metrics();
 }

@@ -1,7 +1,7 @@
 //! Regenerates Fig 5: mapping quality (II) of Rewire vs PF* vs SA on the
 //! paper's four CGRA configurations.
 //!
-//! Usage: `cargo run -p rewire-bench --release --bin fig5 [seconds_per_ii] [--jobs N] [--trace FILE]`
+//! Usage: `cargo run -p rewire-bench --release --bin fig5 [seconds_per_ii] [--jobs N] [--trace FILE] [--metrics FILE] [--kernels a,b]`
 
 use rewire_bench::{fig5_workloads, parse_cli, print_fig5, run_workloads_traced, MapperKind};
 
@@ -10,7 +10,7 @@ fn main() {
     let (secs, jobs) = (args.seconds_per_ii, args.jobs);
     eprintln!("fig5: per-II budget {secs}s per mapper, {jobs} job(s)");
     let rows = run_workloads_traced(
-        &fig5_workloads(),
+        &args.filter_workloads(fig5_workloads()),
         &[
             MapperKind::Rewire,
             MapperKind::PathFinder,
@@ -18,7 +18,7 @@ fn main() {
         ],
         secs,
         jobs,
-        args.trace_sink(),
+        args.event_sink(),
         |row| {
             eprintln!(
                 "  {} / {}: mii={} {:?}",
@@ -33,4 +33,5 @@ fn main() {
         },
     );
     print_fig5(&rows);
+    args.write_metrics();
 }

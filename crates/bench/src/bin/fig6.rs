@@ -3,7 +3,7 @@
 //! budget at a failing II; see DESIGN.md §2 on the wall-clock
 //! substitution).
 //!
-//! Usage: `cargo run -p rewire-bench --release --bin fig6 [seconds_per_ii] [--jobs N] [--trace FILE]`
+//! Usage: `cargo run -p rewire-bench --release --bin fig6 [seconds_per_ii] [--jobs N] [--trace FILE] [--metrics FILE] [--kernels a,b]`
 
 use rewire_bench::{fig6_workloads, parse_cli, print_fig6, run_workloads_traced, MapperKind};
 
@@ -12,7 +12,7 @@ fn main() {
     let (secs, jobs) = (args.seconds_per_ii, args.jobs);
     eprintln!("fig6: per-II budget {secs}s per mapper (equal-budget mode), {jobs} job(s)");
     let rows = run_workloads_traced(
-        &fig6_workloads(),
+        &args.filter_workloads(fig6_workloads()),
         &[
             MapperKind::Rewire,
             MapperKind::PathFinderFullBudget,
@@ -20,7 +20,7 @@ fn main() {
         ],
         secs,
         jobs,
-        args.trace_sink(),
+        args.event_sink(),
         |row| {
             eprintln!(
                 "  {} / {}: {:?}",
@@ -34,4 +34,5 @@ fn main() {
         },
     );
     print_fig6(&rows);
+    args.write_metrics();
 }

@@ -1,7 +1,7 @@
 //! Runs the complete reproduction (Fig 5, Fig 6, Table I) in one go and
 //! prints every table plus the Rewire verification-success statistic.
 //!
-//! Usage: `cargo run -p rewire-bench --release --bin repro [seconds_per_ii] [--jobs N] [--trace FILE]`
+//! Usage: `cargo run -p rewire-bench --release --bin repro [seconds_per_ii] [--jobs N] [--trace FILE] [--metrics FILE] [--kernels a,b]`
 
 use rewire_bench::{
     fig5_workloads, fig6_workloads, parallel_map, parse_cli, print_fig5, print_fig6, print_table1,
@@ -14,12 +14,12 @@ use std::time::Duration;
 fn main() {
     let args = parse_cli(2.0);
     let (secs, jobs) = (args.seconds_per_ii, args.jobs);
-    let trace = args.trace_sink();
+    let trace = args.event_sink();
     eprintln!("repro: per-II budget {secs}s per mapper, {jobs} job(s)");
 
     eprintln!("== running Fig 5 (quality) ==");
     let rows = run_workloads_traced(
-        &fig5_workloads(),
+        &args.filter_workloads(fig5_workloads()),
         &[
             MapperKind::Rewire,
             MapperKind::PathFinder,
@@ -34,7 +34,7 @@ fn main() {
 
     eprintln!("\n== running Fig 6 (compilation time) ==");
     let rows = run_workloads_traced(
-        &fig6_workloads(),
+        &args.filter_workloads(fig6_workloads()),
         &[
             MapperKind::Rewire,
             MapperKind::PathFinderFullBudget,
@@ -49,7 +49,7 @@ fn main() {
 
     eprintln!("\n== running Table I (iterations) ==");
     let rows = run_workloads_traced(
-        &table1_workloads(),
+        &args.filter_workloads(table1_workloads()),
         &[MapperKind::PathFinder, MapperKind::Annealing],
         secs,
         jobs,
@@ -83,4 +83,5 @@ fn main() {
         "propagation tuples generated: {} across {} cluster attempts",
         total.tuples_generated, total.clusters_attempted
     );
+    args.write_metrics();
 }

@@ -2,7 +2,7 @@
 //! and SA on 4×4 CGRAs with one and with four registers per PE, averaged
 //! per explored II.
 //!
-//! Usage: `cargo run -p rewire-bench --release --bin table1 [seconds_per_ii] [--jobs N] [--trace FILE]`
+//! Usage: `cargo run -p rewire-bench --release --bin table1 [seconds_per_ii] [--jobs N] [--trace FILE] [--metrics FILE] [--kernels a,b]`
 
 use rewire_bench::{parse_cli, print_table1, run_workloads_traced, table1_workloads, MapperKind};
 
@@ -11,11 +11,11 @@ fn main() {
     let (secs, jobs) = (args.seconds_per_ii, args.jobs);
     eprintln!("table1: per-II budget {secs}s per mapper, {jobs} job(s)");
     let rows = run_workloads_traced(
-        &table1_workloads(),
+        &args.filter_workloads(table1_workloads()),
         &[MapperKind::PathFinder, MapperKind::Annealing],
         secs,
         jobs,
-        args.trace_sink(),
+        args.event_sink(),
         |row| {
             eprintln!(
                 "  {} / {}: {:?}",
@@ -29,4 +29,5 @@ fn main() {
         },
     );
     print_table1(&rows);
+    args.write_metrics();
 }

@@ -5,15 +5,17 @@
 //! * [`workloads`] — the 47 benchmark–architecture combinations of Fig 5,
 //! * [`runner`] — runs a set of mappers over workloads and collects rows,
 //! * [`report`] — table/series printers and the summary statistics the
-//!   paper quotes (speedups, optimal/near-optimal counts, time reductions).
+//!   paper quotes (speedups, optimal/near-optimal counts, time reductions),
+//! * [`obs_report`] — trace/metrics aggregation behind `rewire-report`.
 //!
 //! The binaries `fig5`, `fig6`, `table1` and `repro` regenerate each paper
-//! artefact; see `EXPERIMENTS.md` at the workspace root for recorded
-//! outputs.
+//! artefact (all accept `--trace FILE` and `--metrics FILE`); see
+//! `EXPERIMENTS.md` at the workspace root for recorded outputs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod obs_report;
 pub mod report;
 pub mod runner;
 pub mod workloads;

@@ -2,7 +2,7 @@
 
 use crate::workloads::Workload;
 use rewire_core::RewireMapper;
-use rewire_mappers::engine::{JsonlTrace, SharedSink};
+use rewire_mappers::engine::{EventSink, Fanout, JsonlTrace, MetricsSink, SharedSink};
 use rewire_mappers::{MapLimits, Mapper, PathFinderConfig, PathFinderMapper, SaMapper};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -202,6 +202,9 @@ pub fn run_workloads_traced(
                 progress(&skeletons[task.row]);
             }
         }
+        if let Some(mut sink) = trace {
+            sink.finish();
+        }
         return skeletons;
     }
 
@@ -238,6 +241,11 @@ pub fn run_workloads_traced(
             }
         }
     });
+    // Flush the shared sink once the whole experiment is done, so traces
+    // survive even if the binary exits without dropping the sink.
+    if let Some(mut sink) = trace {
+        sink.finish();
+    }
     skeletons
 }
 
@@ -289,6 +297,11 @@ pub struct BenchArgs {
     pub jobs: usize,
     /// JSONL trace file path (`--trace FILE`), if requested.
     pub trace: Option<String>,
+    /// Metrics snapshot file path (`--metrics FILE`), if requested.
+    pub metrics: Option<String>,
+    /// Kernel-name filter (`--kernels a,b,c`): restrict every workload to
+    /// the named kernels. `None` runs the full suite.
+    pub kernels: Option<Vec<String>>,
 }
 
 impl BenchArgs {
@@ -303,11 +316,81 @@ impl BenchArgs {
             SharedSink::new(sink)
         })
     }
+
+    /// Composes every requested observability sink — the `--trace` JSONL
+    /// writer and, when `--metrics` is given, a
+    /// [`MetricsSink`] deriving event counters — into one shared sink for
+    /// [`run_workloads_traced`]. Returns `None` when neither was requested.
+    pub fn event_sink(&self) -> Option<SharedSink> {
+        let mut fan = Fanout::default();
+        if let Some(path) = &self.trace {
+            let sink = JsonlTrace::create(path)
+                .unwrap_or_else(|e| panic!("cannot create trace file {path}: {e}"));
+            fan.0.push(Box::new(sink));
+        }
+        if self.metrics.is_some() {
+            fan.0.push(Box::new(MetricsSink::new()));
+        }
+        if fan.0.is_empty() {
+            None
+        } else {
+            Some(SharedSink::new(fan))
+        }
+    }
+
+    /// Writes the global metrics registry snapshot to the `--metrics` file,
+    /// if one was requested. Call once, after every run finished. Panics on
+    /// I/O errors for the same fail-fast reason as [`trace_sink`].
+    ///
+    /// [`trace_sink`]: BenchArgs::trace_sink
+    pub fn write_metrics(&self) {
+        if let Some(path) = &self.metrics {
+            let mut json = rewire_obs::metrics().snapshot().to_json();
+            json.push('\n');
+            std::fs::write(path, json)
+                .unwrap_or_else(|e| panic!("cannot write metrics file {path}: {e}"));
+            eprintln!("metrics written to {path}");
+        }
+    }
+
+    /// Applies the `--kernels` filter to a workload list: every workload
+    /// keeps only the named kernels, and workloads left empty are dropped.
+    /// Panics when a requested name matches no kernel anywhere — a typo'd
+    /// filter should fail loudly, not silently run nothing.
+    pub fn filter_workloads(&self, workloads: Vec<Workload>) -> Vec<Workload> {
+        let Some(keep) = &self.kernels else {
+            return workloads;
+        };
+        let mut matched: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        let filtered: Vec<Workload> = workloads
+            .into_iter()
+            .filter_map(|mut w| {
+                w.kernels.retain(|dfg| {
+                    keep.iter().any(|k| {
+                        let hit = k == dfg.name();
+                        if hit {
+                            matched.insert(dfg.name().to_string());
+                        }
+                        hit
+                    })
+                });
+                (!w.kernels.is_empty()).then_some(w)
+            })
+            .collect();
+        for k in keep {
+            assert!(
+                matched.contains(k),
+                "--kernels: `{k}` matches no kernel in this experiment"
+            );
+        }
+        filtered
+    }
 }
 
 /// Parses the common experiment-binary CLI: an optional positional per-II
-/// budget in seconds plus optional `--jobs N` (or `--jobs=N`) and
-/// `--trace FILE` (or `--trace=FILE`) flags.
+/// budget in seconds plus optional `--jobs N` (or `--jobs=N`),
+/// `--trace FILE` (or `--trace=FILE`), `--metrics FILE` (or
+/// `--metrics=FILE`) and `--kernels a,b` (or `--kernels=a,b`) flags.
 pub fn parse_cli(default_secs: f64) -> BenchArgs {
     parse_cli_from(std::env::args().skip(1), default_secs)
 }
@@ -317,6 +400,15 @@ fn parse_cli_from(args: impl IntoIterator<Item = String>, default_secs: f64) -> 
         seconds_per_ii: default_secs,
         jobs: 1,
         trace: None,
+        metrics: None,
+        kernels: None,
+    };
+    let parse_kernels = |v: &str| {
+        v.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect::<Vec<_>>()
     };
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
@@ -331,11 +423,21 @@ fn parse_cli_from(args: impl IntoIterator<Item = String>, default_secs: f64) -> 
             parsed.trace = Some(args.next().expect("--trace needs a file path"));
         } else if let Some(v) = arg.strip_prefix("--trace=") {
             parsed.trace = Some(v.to_string());
+        } else if arg == "--metrics" {
+            parsed.metrics = Some(args.next().expect("--metrics needs a file path"));
+        } else if let Some(v) = arg.strip_prefix("--metrics=") {
+            parsed.metrics = Some(v.to_string());
+        } else if arg == "--kernels" {
+            parsed.kernels = Some(parse_kernels(
+                &args.next().expect("--kernels needs a comma-separated list"),
+            ));
+        } else if let Some(v) = arg.strip_prefix("--kernels=") {
+            parsed.kernels = Some(parse_kernels(v));
         } else if let Ok(v) = arg.parse::<f64>() {
             parsed.seconds_per_ii = v;
         } else {
             panic!(
-                "unrecognised argument {arg:?} (expected [seconds_per_ii] [--jobs N] [--trace FILE])"
+                "unrecognised argument {arg:?} (expected [seconds_per_ii] [--jobs N] [--trace FILE] [--metrics FILE] [--kernels a,b])"
             );
         }
     }
@@ -440,6 +542,76 @@ mod tests {
     #[should_panic(expected = "unrecognised argument")]
     fn cli_parsing_rejects_junk() {
         parse_cli_from(["--frobnicate".to_string()], 2.0);
+    }
+
+    #[test]
+    fn cli_parsing_accepts_metrics_and_kernels() {
+        let arg = |s: &str| s.to_string();
+        assert_eq!(parse_cli_from([], 2.0).metrics, None);
+        assert_eq!(parse_cli_from([], 2.0).kernels, None);
+        assert_eq!(
+            parse_cli_from([arg("--metrics"), arg("m.json")], 2.0).metrics,
+            Some("m.json".to_string())
+        );
+        assert_eq!(
+            parse_cli_from([arg("--metrics=out/m.json")], 2.0).metrics,
+            Some("out/m.json".to_string())
+        );
+        assert_eq!(
+            parse_cli_from([arg("--kernels"), arg("fir,atax")], 2.0).kernels,
+            Some(vec!["fir".to_string(), "atax".to_string()])
+        );
+        assert_eq!(
+            parse_cli_from([arg("--kernels=fir, atax,")], 2.0).kernels,
+            Some(vec!["fir".to_string(), "atax".to_string()]),
+            "whitespace and empty segments are dropped"
+        );
+    }
+
+    #[test]
+    fn kernel_filter_restricts_workloads() {
+        let args = parse_cli_from(["--kernels=fir".to_string()], 2.0);
+        let w = Workload {
+            label: "test",
+            budget_scale: 1.0,
+            cgra: presets::paper_4x4_r4(),
+            kernels: vec![kernels::fir(), kernels::atax()],
+        };
+        let only_atax = Workload {
+            label: "other",
+            budget_scale: 1.0,
+            cgra: presets::paper_4x4_r4(),
+            kernels: vec![kernels::atax()],
+        };
+        let filtered = args.filter_workloads(vec![w, only_atax]);
+        assert_eq!(filtered.len(), 1, "emptied workloads are dropped");
+        assert_eq!(filtered[0].kernels.len(), 1);
+        assert_eq!(filtered[0].kernels[0].name(), "fir");
+    }
+
+    #[test]
+    #[should_panic(expected = "matches no kernel")]
+    fn kernel_filter_rejects_typos() {
+        let args = parse_cli_from(["--kernels=not_a_kernel".to_string()], 2.0);
+        let w = Workload {
+            label: "test",
+            budget_scale: 1.0,
+            cgra: presets::paper_4x4_r4(),
+            kernels: vec![kernels::fir()],
+        };
+        args.filter_workloads(vec![w]);
+    }
+
+    #[test]
+    fn event_sink_composes_trace_and_metrics() {
+        let base = parse_cli_from([], 2.0);
+        assert!(base.event_sink().is_none(), "nothing requested, no sink");
+        let metrics_only = BenchArgs {
+            metrics: Some("unused.json".to_string()),
+            ..base
+        };
+        // Metrics-only composition must not try to open any file.
+        assert!(metrics_only.event_sink().is_some());
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! End-to-end check of the observability pipeline: a traced + metered
+//! bench run must produce a JSONL trace and a metrics snapshot that
+//! `rewire-report`'s aggregation turns into a non-empty per-run report
+//! with joined counters and a span time breakdown.
+
+use rewire_bench::obs_report::{load_snapshots, parse_trace, render_report};
+use rewire_bench::{fig6_workloads, run_workloads_traced, MapperKind};
+use rewire_mappers::engine::{Fanout, JsonlTrace, MetricsSink, SharedSink};
+
+#[test]
+fn traced_run_aggregates_into_a_report() {
+    // One kernel on the 4×4/2-reg fabric keeps the debug-mode test fast.
+    let mut workloads = fig6_workloads();
+    workloads.retain(|w| w.label == "4x4 2reg");
+    assert_eq!(workloads.len(), 1);
+    workloads[0].kernels.truncate(1);
+    let kernel = workloads[0].kernels[0].name().to_string();
+
+    let path = std::env::temp_dir().join(format!("rewire-obsreport-{}.jsonl", std::process::id()));
+    let mut fan = Fanout::default();
+    fan.0
+        .push(Box::new(JsonlTrace::create(&path).expect("create trace")));
+    fan.0.push(Box::new(MetricsSink::new()));
+    let rows = run_workloads_traced(
+        &workloads,
+        &[MapperKind::PathFinderFullBudget],
+        0.4,
+        1,
+        Some(SharedSink::new(fan)),
+        |_| {},
+    );
+    assert_eq!(rows.len(), 1);
+
+    let text = std::fs::read_to_string(&path).expect("trace readable");
+    let _ = std::fs::remove_file(&path);
+    let runs = parse_trace(&text).expect("trace parses");
+    assert_eq!(runs.len(), 1, "one (mapper, kernel, seed) run");
+    let run = &runs[0];
+    assert_eq!(run.mapper, "PF*");
+    assert_eq!(run.kernel, kernel);
+    assert!(run.iis_started >= 1);
+    assert!(run.attempts >= 1);
+    assert!(run.mii >= 1, "first ii_started supplies the MII");
+
+    // The in-process registry snapshot stands in for a `--metrics` file.
+    let snap_json = rewire_obs::metrics().snapshot().to_json();
+    let snap = load_snapshots(&[("m.json".to_string(), snap_json)]).expect("snapshot parses");
+    assert!(
+        snap.scopes.contains_key(&run.scope()),
+        "engine scoped this run's metrics as {}",
+        run.scope()
+    );
+
+    let report = render_report(&runs, Some(&snap));
+    assert!(report.contains(&kernel), "{report}");
+    assert!(report.contains("PF*"), "{report}");
+    assert!(report.contains("time breakdown"), "{report}");
+    assert!(report.contains("run/attempt"), "{report}");
+}

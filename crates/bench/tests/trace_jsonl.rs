@@ -169,7 +169,7 @@ fn fig6_workload_emits_a_parseable_jsonl_trace() {
             }
             "attempt_finished" => {
                 assert!(matches!(obj.get("routed"), Some(Json::Bool(_))), "{line}");
-                for field in ["ii", "overuse", "iterations"] {
+                for field in ["ii", "overuse", "iterations", "elapsed_us"] {
                     assert!(matches!(obj.get(field), Some(Json::Num(_))), "{line}");
                 }
             }

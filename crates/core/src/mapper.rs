@@ -16,7 +16,49 @@ use rewire_mappers::engine::{
     Silent,
 };
 use rewire_mappers::{MapLimits, MapOutcome, Mapper, Mapping, PathFinderMapper};
+use rewire_obs as obs;
 use std::time::Instant;
+
+/// Mirrors the growth of [`RewireStats`] between two snapshots into the
+/// `rewire.*` metric counters of the current scope. Called once per II
+/// attempt so the cluster-amendment hot loops never touch an atomic.
+fn mirror_rstats_delta(before: &RewireStats, after: &RewireStats) {
+    let add = |name: &str, b: u64, a: u64| {
+        if a > b {
+            obs::counter(name).add(a - b);
+        }
+    };
+    add(
+        "rewire.clusters_attempted",
+        before.clusters_attempted,
+        after.clusters_attempted,
+    );
+    add(
+        "rewire.cluster_growths",
+        before.cluster_growths,
+        after.cluster_growths,
+    );
+    add(
+        "rewire.tuples_generated",
+        before.tuples_generated,
+        after.tuples_generated,
+    );
+    add(
+        "rewire.verifications",
+        before.verifications,
+        after.verifications,
+    );
+    add(
+        "rewire.verification_successes",
+        before.verification_successes,
+        after.verification_successes,
+    );
+    add(
+        "rewire.combinations_pruned",
+        before.combinations_pruned,
+        after.combinations_pruned,
+    );
+}
 
 /// The Rewire mapper.
 ///
@@ -106,10 +148,20 @@ impl RewireMapper {
         rstats: &mut RewireStats,
     ) -> Option<Mapping> {
         let width = self.config.portfolio_width;
+        // Workers are fresh threads with no metric scope of their own:
+        // carry the run's scope and span path across the spawn so their
+        // counters and timers land under the same `mapper/kernel` scope as
+        // the serial path.
+        let metric_scope = obs::current_scope();
+        let parent_span = obs::current_span_path();
         let results: Vec<(Option<Mapping>, RewireStats)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..width)
                 .map(|rank| {
+                    let metric_scope = metric_scope.clone();
+                    let parent_span = parent_span.clone();
                     scope.spawn(move || {
+                        let _scope = obs::scope(metric_scope);
+                        let _span = obs::span_under(&parent_span, "worker");
                         let mut rng =
                             StdRng::seed_from_u64(worker_seed(limits.seed, ii, rank as u64));
                         let mut stats = RewireStats::default();
@@ -120,6 +172,9 @@ impl RewireMapper {
                             && Instant::now() < deadline
                         {
                             restarts += 1;
+                            if restarts > 1 {
+                                obs::counter("rewire.restarts").incr();
+                            }
                             // Rank 0's first restart mirrors the serial
                             // path (no diversification); every other
                             // worker diversifies from its first attempt so
@@ -530,7 +585,11 @@ impl IiAttempt for RewireAttempt<'_> {
         events: &mut Emitter<'_>,
     ) -> AttemptOutcome {
         let ii = ctx.ii;
-        let Some(initial) = self.pf.initial_mapping(dfg, cgra, ii, ctx.limits.seed) else {
+        let initial = {
+            let _initial_span = obs::span("initial");
+            self.pf.initial_mapping(dfg, cgra, ii, ctx.limits.seed)
+        };
+        let Some(initial) = initial else {
             return AttemptOutcome::failed(0, 0); // no modulo schedule at this II
         };
         let initial_overuse = initial.total_overuse() as u64;
@@ -546,38 +605,46 @@ impl IiAttempt for RewireAttempt<'_> {
         // selections — the paper's counterpart is its one-hour-per-II
         // exploration budget.
         let before = self.rstats.clusters_attempted;
-        let amended = if self.mapper.config.portfolio_width > 1 {
-            self.mapper.portfolio_amend(
-                dfg,
-                cgra,
-                &initial,
-                ctx.deadline,
-                ii,
-                ctx.limits,
-                &mut self.rstats,
-            )
-        } else {
-            let mut amended = None;
-            let mut restarts = 0;
-            while amended.is_none()
-                && restarts < self.mapper.config.max_restarts_per_ii
-                && Instant::now() < ctx.deadline
-            {
-                restarts += 1;
-                // Later restarts diversify cluster sizes and candidate
-                // order to escape greedy dead-ends.
-                amended = self.mapper.amend_with(
+        let stats_before = self.rstats;
+        let amended = {
+            let _amend_span = obs::span("amend");
+            if self.mapper.config.portfolio_width > 1 {
+                self.mapper.portfolio_amend(
                     dfg,
                     cgra,
-                    initial.clone(),
+                    &initial,
                     ctx.deadline,
-                    &mut self.rng,
+                    ii,
+                    ctx.limits,
                     &mut self.rstats,
-                    restarts > 1,
-                );
+                )
+            } else {
+                let mut amended = None;
+                let mut restarts = 0;
+                while amended.is_none()
+                    && restarts < self.mapper.config.max_restarts_per_ii
+                    && Instant::now() < ctx.deadline
+                {
+                    restarts += 1;
+                    if restarts > 1 {
+                        obs::counter("rewire.restarts").incr();
+                    }
+                    // Later restarts diversify cluster sizes and candidate
+                    // order to escape greedy dead-ends.
+                    amended = self.mapper.amend_with(
+                        dfg,
+                        cgra,
+                        initial.clone(),
+                        ctx.deadline,
+                        &mut self.rng,
+                        &mut self.rstats,
+                        restarts > 1,
+                    );
+                }
+                amended
             }
-            amended
         };
+        mirror_rstats_delta(&stats_before, &self.rstats);
         let iterations = self.rstats.clusters_attempted - before;
         AttemptOutcome {
             overuse: if amended.is_some() {
@@ -658,18 +725,66 @@ mod tests {
     fn portfolio_maps_and_is_deterministic() {
         let cgra = presets::paper_4x4_r4();
         let dfg = kernels::fir();
-        // A generous wall-clock budget keeps the restart caps (not the
-        // deadline) as the binding constraint, which is the precondition
-        // for portfolio determinism.
+        // Portfolio determinism is only guaranteed when deterministic caps
+        // bind instead of the wall-clock deadline (DESIGN.md §6b), so cap
+        // the restarts explicitly — the default (unbounded restarts) leaves
+        // the deadline binding, which flakes on slow or loaded machines.
         let limits = MapLimits::fast().with_ii_time_budget(std::time::Duration::from_secs(30));
         let config = RewireConfig {
             portfolio_width: 3,
+            max_restarts_per_ii: 3,
             ..Default::default()
         };
         let a = RewireMapper::with_config(config.clone()).map(&dfg, &cgra, &limits);
         let b = RewireMapper::with_config(config).map(&dfg, &cgra, &limits);
         assert!(a.mapping.is_some(), "fir maps on 4x4/r4 under a portfolio");
         assert_eq!(a.stats.achieved_ii, b.stats.achieved_ii);
+    }
+
+    #[test]
+    fn metrics_cover_the_portfolio_workers() {
+        let cgra = presets::paper_4x4_r4();
+        // A uniquely named kernel gives this test its own metric scope, so
+        // parallel tests mapping the stock kernels cannot interfere.
+        let mut dfg = Dfg::new("rewire-obs-probe");
+        let mut prev = dfg.add_node("ld", rewire_arch::OpKind::Load);
+        for i in 0..4 {
+            let n = dfg.add_node(format!("a{i}"), rewire_arch::OpKind::Add);
+            dfg.add_edge(prev, n, 0).unwrap();
+            prev = n;
+        }
+        let config = RewireConfig {
+            portfolio_width: 2,
+            ..Default::default()
+        };
+        let out = RewireMapper::with_config(config).map(&dfg, &cgra, &MapLimits::fast());
+        assert!(out.mapping.is_some());
+
+        let snap = obs::metrics().snapshot();
+        let scope = snap
+            .scopes
+            .get("Rewire/rewire-obs-probe")
+            .expect("engine scoped the run as mapper/kernel");
+        assert_eq!(scope.counters.get("engine.mapped"), Some(&1));
+        for path in [
+            "run",
+            "run/attempt",
+            "run/attempt/initial",
+            "run/attempt/amend",
+        ] {
+            assert!(
+                scope.spans.contains_key(path),
+                "missing span {path:?}; have {:?}",
+                scope.spans.keys().collect::<Vec<_>>()
+            );
+        }
+        // The portfolio workers run on fresh threads; their timers must
+        // still land under the run's scope and span path.
+        let worker = scope
+            .spans
+            .get("run/attempt/amend/worker")
+            .expect("worker spans carried across the spawn");
+        assert_eq!(worker.count, 2, "one span per portfolio worker");
     }
 
     #[test]

@@ -18,6 +18,7 @@ use rand::{Rng, SeedableRng};
 use rewire_arch::Cgra;
 use rewire_dfg::{Dfg, EdgeId, NodeId};
 use rewire_mrrg::{Mrrg, NegotiatedCost, Route, Router};
+use rewire_obs as obs;
 use std::time::Instant;
 
 /// Configuration of the SA baseline.
@@ -164,12 +165,19 @@ impl SaMapper {
         let mut mapping = Mapping::new(dfg, &mrrg);
 
         // Random initial placement in topological order.
-        for v in dfg.topo_order() {
-            if let Some((pe, t)) = self.random_candidate(dfg, cgra, &mapping, &asap, v, rng) {
-                self.place_and_route(dfg, &router, &mut mapping, v, pe, t, &cost_model);
+        {
+            let _place_span = obs::span("place");
+            for v in dfg.topo_order() {
+                if let Some((pe, t)) = self.random_candidate(dfg, cgra, &mapping, &asap, v, rng) {
+                    self.place_and_route(dfg, &router, &mut mapping, v, pe, t, &cost_model);
+                }
             }
         }
 
+        let _anneal_span = obs::span("anneal");
+        let m_moves = obs::counter("sa.moves");
+        let m_accepts = obs::counter("sa.accepts");
+        let m_rejects = obs::counter("sa.rejects");
         let mut current = self.cost(dfg, &mapping);
         let mut best = current;
         let mut temperature = self.config.initial_temperature;
@@ -225,6 +233,12 @@ impl SaMapper {
             let delta = new_cost - current;
             let accept = delta <= 0.0
                 || rng.random_bool((-delta / temperature.max(1e-9)).exp().clamp(0.0, 1.0));
+            m_moves.incr();
+            if accept {
+                m_accepts.incr();
+            } else {
+                m_rejects.incr();
+            }
             if accept {
                 current = new_cost;
                 if current < best {
@@ -291,6 +305,9 @@ impl IiAttempt for SaAttempt<'_> {
             && Instant::now() < ctx.deadline
         {
             restarts += 1;
+            if restarts > 1 {
+                obs::counter("sa.restarts").incr();
+            }
             let (m, iters, ou) =
                 self.mapper
                     .try_ii(dfg, cgra, ctx.ii, ctx.deadline, &mut self.rng, events);

@@ -84,6 +84,8 @@ pub enum MapEvent {
         overuse: u64,
         /// Single-node remapping iterations the attempt consumed.
         iterations: u64,
+        /// Wall-clock time this attempt took, in microseconds.
+        elapsed_us: u128,
     },
     /// Terminal: the run produced a valid mapping.
     Mapped {
@@ -145,8 +147,9 @@ impl MapEvent {
                 routed,
                 overuse,
                 iterations,
+                elapsed_us,
             } => s.push_str(&format!(
-                ",\"ii\":{ii},\"routed\":{routed},\"overuse\":{overuse},\"iterations\":{iterations}"
+                ",\"ii\":{ii},\"routed\":{routed},\"overuse\":{overuse},\"iterations\":{iterations},\"elapsed_us\":{elapsed_us}"
             )),
             MapEvent::Mapped {
                 ii,
@@ -227,6 +230,7 @@ mod tests {
                 routed: false,
                 overuse: 3,
                 iterations: 900,
+                elapsed_us: 42,
             },
             MapEvent::Mapped {
                 ii: 2,

@@ -26,11 +26,12 @@ mod events;
 mod sinks;
 
 pub use events::{GiveUpReason, MapEvent, RunMeta};
-pub use sinks::{EventSink, Fanout, JsonlTrace, SharedSink, Silent, StderrProgress};
+pub use sinks::{EventSink, Fanout, JsonlTrace, MetricsSink, SharedSink, Silent, StderrProgress};
 
 use crate::{MapLimits, MapOutcome, MapStats, Mapping};
 use rewire_arch::Cgra;
 use rewire_dfg::Dfg;
+use rewire_obs as obs;
 use std::time::Instant;
 
 /// The emitting half handed to attempts: a sink plus the run's identity.
@@ -41,23 +42,37 @@ use std::time::Instant;
 pub struct Emitter<'a> {
     meta: RunMeta<'a>,
     sink: &'a mut dyn EventSink,
+    rounds: u64,
 }
 
 impl<'a> Emitter<'a> {
     /// Pairs a sink with a run identity. Public so the equivalence tests
     /// (and custom drivers) can feed attempts outside [`IiSearch`].
     pub fn new(meta: RunMeta<'a>, sink: &'a mut dyn EventSink) -> Self {
-        Self { meta, sink }
+        Self {
+            meta,
+            sink,
+            rounds: 0,
+        }
     }
 
     /// Emits one event under this run's identity.
     pub fn emit(&mut self, event: MapEvent) {
+        if matches!(event, MapEvent::NegotiationRound { .. }) {
+            self.rounds += 1;
+        }
         self.sink.emit(&self.meta, &event);
     }
 
     /// The run identity events are tagged with.
     pub fn meta(&self) -> &RunMeta<'a> {
         &self.meta
+    }
+
+    /// How many [`MapEvent::NegotiationRound`] events passed through —
+    /// the engine copies this into [`MapStats::negotiation_rounds`].
+    pub fn rounds(&self) -> u64 {
+        self.rounds
     }
 }
 
@@ -169,6 +184,11 @@ impl<'a> IiSearch<'a> {
     ) -> MapOutcome {
         let start = Instant::now();
         let total_deadline = limits.total_time_budget.map(|budget| start + budget);
+        // Observe-only: the scope attributes every metric recorded below
+        // this frame (router counters included) to this run, and the spans
+        // time the per-phase breakdown. Neither feeds back into mapping.
+        let _scope = obs::scope(format!("{}/{}", self.name, dfg.name()));
+        let run_span = obs::span("run");
         let mut emitter = Emitter::new(
             RunMeta {
                 mapper: self.name,
@@ -183,13 +203,19 @@ impl<'a> IiSearch<'a> {
             ..MapStats::default()
         };
 
-        let Some(mii) = dfg.mii(cgra) else {
+        let mii = {
+            let _mii_span = obs::span("mii");
+            dfg.mii(cgra)
+        };
+        let Some(mii) = mii else {
             stats.elapsed = start.elapsed();
             emitter.emit(MapEvent::GaveUp {
                 reason: GiveUpReason::NoMii,
                 iis_explored: 0,
                 elapsed_us: stats.elapsed.as_micros(),
             });
+            obs::counter("engine.gave_up").incr();
+            drop(run_span);
             return MapOutcome {
                 mapping: None,
                 stats,
@@ -202,11 +228,14 @@ impl<'a> IiSearch<'a> {
             if let Some(td) = total_deadline {
                 if now >= td {
                     stats.elapsed = start.elapsed();
+                    stats.negotiation_rounds = emitter.rounds();
                     emitter.emit(MapEvent::GaveUp {
                         reason: GiveUpReason::TotalBudget,
                         iis_explored: stats.iis_explored,
                         elapsed_us: stats.elapsed.as_micros(),
                     });
+                    obs::counter("engine.gave_up").incr();
+                    drop(run_span);
                     return MapOutcome {
                         mapping: None,
                         stats,
@@ -214,6 +243,7 @@ impl<'a> IiSearch<'a> {
                 }
             }
             stats.iis_explored += 1;
+            obs::counter("engine.iis_explored").incr();
             let mut deadline = now + limits.ii_time_budget;
             if let Some(td) = total_deadline {
                 deadline = deadline.min(td);
@@ -226,24 +256,35 @@ impl<'a> IiSearch<'a> {
                 seed: worker_seed(limits.seed, ii, 0),
                 limits,
             };
-            let outcome = attempt.attempt(dfg, cgra, &ctx, &mut emitter);
+            let attempt_start = Instant::now();
+            let outcome = {
+                let _attempt_span = obs::span("attempt");
+                attempt.attempt(dfg, cgra, &ctx, &mut emitter)
+            };
+            let attempt_elapsed = attempt_start.elapsed();
+            obs::histogram("engine.attempt_us")
+                .record(u64::try_from(attempt_elapsed.as_micros()).unwrap_or(u64::MAX));
             stats.remap_iterations += outcome.iterations;
             emitter.emit(MapEvent::AttemptFinished {
                 ii,
                 routed: outcome.mapping.is_some(),
                 overuse: outcome.overuse,
                 iterations: outcome.iterations,
+                elapsed_us: attempt_elapsed.as_micros(),
             });
             if let Some(m) = outcome.mapping {
                 debug_assert!(m.is_valid(dfg, cgra), "attempt returned invalid mapping");
                 debug_assert_eq!(m.ii(), ii, "attempt returned mapping at the wrong II");
                 stats.achieved_ii = Some(ii);
                 stats.elapsed = start.elapsed();
+                stats.negotiation_rounds = emitter.rounds();
                 emitter.emit(MapEvent::Mapped {
                     ii,
                     iis_explored: stats.iis_explored,
                     elapsed_us: stats.elapsed.as_micros(),
                 });
+                obs::counter("engine.mapped").incr();
+                drop(run_span);
                 return MapOutcome {
                     mapping: Some(m),
                     stats,
@@ -252,11 +293,14 @@ impl<'a> IiSearch<'a> {
         }
 
         stats.elapsed = start.elapsed();
+        stats.negotiation_rounds = emitter.rounds();
         emitter.emit(MapEvent::GaveUp {
             reason: GiveUpReason::MaxIiReached,
             iis_explored: stats.iis_explored,
             elapsed_us: stats.elapsed.as_micros(),
         });
+        obs::counter("engine.gave_up").incr();
+        drop(run_span);
         MapOutcome {
             mapping: None,
             stats,
@@ -445,6 +489,64 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn negotiation_rounds_are_totalled_into_stats() {
+        struct TwoRounds;
+        impl IiAttempt for TwoRounds {
+            fn attempt(
+                &mut self,
+                _dfg: &Dfg,
+                _cgra: &Cgra,
+                ctx: &AttemptCtx<'_>,
+                events: &mut Emitter<'_>,
+            ) -> AttemptOutcome {
+                for iteration in 1..=2 {
+                    events.emit(MapEvent::NegotiationRound {
+                        ii: ctx.ii,
+                        iteration,
+                        ill_nodes: 0,
+                        overuse: 0,
+                    });
+                }
+                AttemptOutcome::failed(0, 0)
+            }
+        }
+        let cgra = rewire_arch::presets::paper_4x4_r4();
+        let dfg = chain();
+        let mii = dfg.mii(&cgra).unwrap();
+        let limits = MapLimits::fast().with_max_ii(mii + 2);
+        let out = IiSearch::new("test").run(&dfg, &cgra, &limits, &mut TwoRounds, &mut Silent);
+        assert_eq!(out.stats.iis_explored, 3);
+        assert_eq!(out.stats.negotiation_rounds, 6, "2 rounds × 3 IIs");
+    }
+
+    #[test]
+    fn engine_metrics_are_scoped_per_run() {
+        let cgra = rewire_arch::presets::paper_4x4_r4();
+        let dfg = chain();
+        let mii = dfg.mii(&cgra).unwrap();
+        let limits = MapLimits::fast().with_max_ii(mii + 1);
+        let _ = IiSearch::new("engine-metrics-test").run(
+            &dfg,
+            &cgra,
+            &limits,
+            &mut SleepyFail(Duration::ZERO),
+            &mut Silent,
+        );
+        let snap = obs::metrics().snapshot();
+        let s = &snap.scopes["engine-metrics-test/chain"];
+        assert_eq!(s.counters["engine.iis_explored"], 2);
+        assert_eq!(s.counters["engine.gave_up"], 1);
+        assert_eq!(s.histograms["engine.attempt_us"].count, 2);
+        assert_eq!(s.spans["run"].count, 1);
+        assert_eq!(s.spans["run/mii"].count, 1);
+        assert_eq!(s.spans["run/attempt"].count, 2);
+        assert!(
+            s.spans["run"].total_ns >= s.spans["run/attempt"].total_ns,
+            "parent span covers its children"
+        );
     }
 
     #[test]

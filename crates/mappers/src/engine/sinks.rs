@@ -7,7 +7,8 @@
 //! `--trace`). [`SharedSink`] adapts any sink for concurrent runs and
 //! [`Fanout`] duplicates the stream to several sinks at once.
 
-use super::events::{MapEvent, RunMeta};
+use super::events::{GiveUpReason, MapEvent, RunMeta};
+use rewire_obs as obs;
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 
@@ -19,11 +20,22 @@ use std::sync::{Arc, Mutex};
 pub trait EventSink {
     /// Consumes one event. `meta` identifies the run that produced it.
     fn emit(&mut self, meta: &RunMeta<'_>, event: &MapEvent);
+
+    /// Signals that no more events will arrive: flush buffers, close out
+    /// resources. Callers that own a sink for a batch of runs (the bench
+    /// harness) call this once at the end; sinks with buffered state must
+    /// also flush on drop so a panicking or early-returning caller cannot
+    /// lose data. The default is a no-op.
+    fn finish(&mut self) {}
 }
 
 impl<S: EventSink + ?Sized> EventSink for &mut S {
     fn emit(&mut self, meta: &RunMeta<'_>, event: &MapEvent) {
         (**self).emit(meta, event)
+    }
+
+    fn finish(&mut self) {
+        (**self).finish()
     }
 }
 
@@ -55,10 +67,12 @@ impl EventSink for StderrProgress {
                 routed,
                 overuse,
                 iterations,
+                elapsed_us,
             } => {
                 let verdict = if *routed { "routed" } else { "failed" };
                 eprintln!(
-                    "[{id}] II {ii}: {verdict} after {iterations} iterations (overuse {overuse})"
+                    "[{id}] II {ii}: {verdict} after {iterations} iterations (overuse {overuse}, {:.1} ms)",
+                    *elapsed_us as f64 / 1000.0
                 )
             }
             MapEvent::Mapped {
@@ -85,9 +99,15 @@ impl EventSink for StderrProgress {
 /// Appends one JSON object per event to a writer (JSON Lines).
 ///
 /// Write errors are swallowed: tracing must never abort a mapping run.
+/// The buffer is flushed after every terminal event (`mapped`/`gave_up`),
+/// on [`finish`](EventSink::finish), and on drop, so a run killed between
+/// runs leaves at most the current run's tail unwritten — never a line
+/// truncated mid-record by a lost buffer.
 #[derive(Debug)]
 pub struct JsonlTrace<W: Write> {
-    out: W,
+    /// `None` only after `into_inner` moved the writer out (lets the
+    /// `Drop` flush coexist with by-value extraction without unsafe).
+    out: Option<W>,
 }
 
 impl JsonlTrace<std::io::BufWriter<std::fs::File>> {
@@ -102,19 +122,125 @@ impl JsonlTrace<std::io::BufWriter<std::fs::File>> {
 impl<W: Write> JsonlTrace<W> {
     /// Wraps an arbitrary writer.
     pub fn new(out: W) -> Self {
-        Self { out }
+        Self { out: Some(out) }
     }
 
     /// Flushes and returns the underlying writer.
     pub fn into_inner(mut self) -> W {
-        let _ = self.out.flush();
-        self.out
+        let mut out = self.out.take().expect("writer only taken here");
+        let _ = out.flush();
+        out
     }
 }
 
 impl<W: Write> EventSink for JsonlTrace<W> {
     fn emit(&mut self, meta: &RunMeta<'_>, event: &MapEvent) {
-        let _ = writeln!(self.out, "{}", event.to_json(meta));
+        let Some(out) = self.out.as_mut() else {
+            return;
+        };
+        let _ = writeln!(out, "{}", event.to_json(meta));
+        if matches!(event, MapEvent::Mapped { .. } | MapEvent::GaveUp { .. }) {
+            let _ = out.flush();
+        }
+    }
+
+    fn finish(&mut self) {
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
+        }
+    }
+}
+
+impl<W: Write> Drop for JsonlTrace<W> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Derives `events.*` metrics from the event stream into the global
+/// [`rewire_obs::metrics`] registry, under an explicit
+/// `"<mapper>/<kernel>"` scope taken from each event's [`RunMeta`].
+///
+/// This is the bridge between the two observability planes: the trace
+/// records *what happened when*, the metrics record *how much in total*.
+/// Using the meta's identity (rather than the thread's current scope)
+/// makes the sink correct even when one thread multiplexes events from
+/// several runs (the bench harness's shared sink).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MetricsSink;
+
+impl MetricsSink {
+    /// Creates the sink (stateless; records into the global registry).
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl EventSink for MetricsSink {
+    fn emit(&mut self, meta: &RunMeta<'_>, event: &MapEvent) {
+        let registry = obs::metrics();
+        let scope = format!("{}/{}", meta.mapper, meta.kernel);
+        let us64 = |us: u128| u64::try_from(us).unwrap_or(u64::MAX);
+        match event {
+            MapEvent::IiStarted { .. } => {
+                registry.counter_in(&scope, "events.ii_attempts").incr();
+            }
+            MapEvent::NegotiationRound { overuse, .. } => {
+                registry
+                    .counter_in(&scope, "events.negotiation_rounds")
+                    .incr();
+                registry
+                    .histogram_in(&scope, "events.round_overuse")
+                    .record(*overuse);
+            }
+            MapEvent::AttemptFinished {
+                routed,
+                iterations,
+                elapsed_us,
+                ..
+            } => {
+                let name = if *routed {
+                    "events.attempts_routed"
+                } else {
+                    "events.attempts_failed"
+                };
+                registry.counter_in(&scope, name).incr();
+                registry
+                    .histogram_in(&scope, "events.attempt_iterations")
+                    .record(*iterations);
+                registry
+                    .histogram_in(&scope, "events.attempt_us")
+                    .record(us64(*elapsed_us));
+            }
+            MapEvent::Mapped { ii, elapsed_us, .. } => {
+                registry.counter_in(&scope, "events.mapped").incr();
+                registry
+                    .gauge_in(&scope, "events.achieved_ii")
+                    .set(*ii as i64);
+                registry
+                    .histogram_in(&scope, "events.map_time_us")
+                    .record(us64(*elapsed_us));
+            }
+            MapEvent::GaveUp {
+                reason, elapsed_us, ..
+            } => {
+                registry.counter_in(&scope, "events.gave_up").incr();
+                registry.counter_in(&scope, gave_up_counter(*reason)).incr();
+                registry
+                    .histogram_in(&scope, "events.map_time_us")
+                    .record(us64(*elapsed_us));
+            }
+        }
+    }
+}
+
+/// Static counter name for a give-up reason (no per-event allocation).
+fn gave_up_counter(reason: GiveUpReason) -> &'static str {
+    match reason {
+        GiveUpReason::NoMii => "events.gave_up.no_mii",
+        GiveUpReason::MaxIiReached => "events.gave_up.max_ii_reached",
+        GiveUpReason::TotalBudget => "events.gave_up.total_budget",
+        GiveUpReason::Refused => "events.gave_up.refused",
     }
 }
 
@@ -146,16 +272,31 @@ impl EventSink for SharedSink {
             sink.emit(meta, event);
         }
     }
+
+    fn finish(&mut self) {
+        if let Ok(mut sink) = self.0.lock() {
+            sink.finish();
+        }
+    }
 }
 
 /// Duplicates every event to each contained sink, in order.
+///
+/// The boxes are `Send` so a composed fanout (e.g. trace + metrics) can be
+/// wrapped in a [`SharedSink`] and cloned across bench worker threads.
 #[derive(Default)]
-pub struct Fanout(pub Vec<Box<dyn EventSink>>);
+pub struct Fanout(pub Vec<Box<dyn EventSink + Send>>);
 
 impl EventSink for Fanout {
     fn emit(&mut self, meta: &RunMeta<'_>, event: &MapEvent) {
         for sink in &mut self.0 {
             sink.emit(meta, event);
+        }
+    }
+
+    fn finish(&mut self) {
+        for sink in &mut self.0 {
+            sink.finish();
         }
     }
 }
@@ -195,6 +336,120 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_flushes_on_drop() {
+        use std::io::BufWriter;
+        use std::sync::{Arc, Mutex};
+
+        /// A writer that records what reached it only via `write`, so a
+        /// `BufWriter` in front of it shows whether buffers were flushed.
+        #[derive(Clone, Default)]
+        struct Probe(Arc<Mutex<Vec<u8>>>);
+        impl Write for Probe {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let probe = Probe::default();
+        {
+            let mut sink = JsonlTrace::new(BufWriter::new(probe.clone()));
+            sink.emit(&meta(), &MapEvent::IiStarted { ii: 2 });
+            // Non-terminal event: may still sit in the BufWriter here.
+        }
+        let text = String::from_utf8(probe.0.lock().unwrap().clone()).unwrap();
+        assert!(
+            text.contains("\"type\":\"ii_started\""),
+            "drop flushed the buffered line: {text:?}"
+        );
+    }
+
+    #[test]
+    fn jsonl_flushes_after_terminal_events() {
+        use std::io::BufWriter;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Probe(Arc<Mutex<Vec<u8>>>);
+        impl Write for Probe {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let probe = Probe::default();
+        let mut sink = JsonlTrace::new(BufWriter::new(probe.clone()));
+        sink.emit(
+            &meta(),
+            &MapEvent::Mapped {
+                ii: 2,
+                iis_explored: 1,
+                elapsed_us: 5,
+            },
+        );
+        let text = String::from_utf8(probe.0.lock().unwrap().clone()).unwrap();
+        assert!(
+            text.contains("\"type\":\"mapped\""),
+            "terminal event reached the writer before drop: {text:?}"
+        );
+        std::mem::forget(sink); // leak: even without drop the line is safe
+    }
+
+    #[test]
+    fn metrics_sink_derives_event_counters() {
+        let m = RunMeta {
+            mapper: "SA",
+            kernel: "metrics_sink_test_kernel",
+            seed: 1,
+        };
+        let mut sink = MetricsSink::new();
+        sink.emit(&m, &MapEvent::IiStarted { ii: 3 });
+        sink.emit(
+            &m,
+            &MapEvent::NegotiationRound {
+                ii: 3,
+                iteration: 50,
+                ill_nodes: 2,
+                overuse: 7,
+            },
+        );
+        sink.emit(
+            &m,
+            &MapEvent::AttemptFinished {
+                ii: 3,
+                routed: false,
+                overuse: 7,
+                iterations: 120,
+                elapsed_us: 900,
+            },
+        );
+        sink.emit(
+            &m,
+            &MapEvent::GaveUp {
+                reason: GiveUpReason::MaxIiReached,
+                iis_explored: 1,
+                elapsed_us: 1000,
+            },
+        );
+        let snap = obs::metrics().snapshot();
+        let s = &snap.scopes["SA/metrics_sink_test_kernel"];
+        assert_eq!(s.counters["events.ii_attempts"], 1);
+        assert_eq!(s.counters["events.negotiation_rounds"], 1);
+        assert_eq!(s.counters["events.attempts_failed"], 1);
+        assert_eq!(s.counters["events.gave_up"], 1);
+        assert_eq!(s.counters["events.gave_up.max_ii_reached"], 1);
+        assert_eq!(s.histograms["events.round_overuse"].max, Some(7));
+        assert_eq!(s.histograms["events.attempt_us"].max, Some(900));
+    }
+
+    #[test]
     fn shared_sink_is_cloneable_and_send() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SharedSink>();
@@ -206,15 +461,16 @@ mod tests {
 
     #[test]
     fn fanout_forwards_to_every_sink() {
-        struct Count(std::rc::Rc<std::cell::Cell<u32>>);
+        use std::sync::atomic::{AtomicU32, Ordering};
+        struct Count(Arc<AtomicU32>);
         impl EventSink for Count {
             fn emit(&mut self, _: &RunMeta<'_>, _: &MapEvent) {
-                self.0.set(self.0.get() + 1);
+                self.0.fetch_add(1, Ordering::Relaxed);
             }
         }
-        let n = std::rc::Rc::new(std::cell::Cell::new(0));
+        let n = Arc::new(AtomicU32::new(0));
         let mut fan = Fanout(vec![Box::new(Count(n.clone())), Box::new(Count(n.clone()))]);
         fan.emit(&meta(), &MapEvent::IiStarted { ii: 1 });
-        assert_eq!(n.get(), 2);
+        assert_eq!(n.load(Ordering::Relaxed), 2);
     }
 }

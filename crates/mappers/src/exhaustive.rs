@@ -14,6 +14,8 @@ use crate::schedule::candidate_pes;
 use crate::{MapLimits, MapOutcome, MapStats, Mapper, Mapping};
 use rewire_dfg::{Dfg, NodeId};
 use rewire_mrrg::{Mrrg, Router, UnitCost};
+use rewire_obs as obs;
+use std::cell::Cell;
 use std::time::Instant;
 
 /// The exhaustive mapper. Refuses DFGs larger than
@@ -54,6 +56,9 @@ impl ExhaustiveMapper {
         // Bound on schedule times: depth plus one II round of slack per
         // node keeps the search finite yet complete enough in practice.
         let horizon = dfg.longest_path() + 2 * ii;
+        // Count search-tree nodes locally and flush once per II so the hot
+        // recursion touches a plain `Cell`, not an atomic.
+        let nodes = Cell::new(0u64);
         let ok = self.search(
             dfg,
             cgra,
@@ -63,7 +68,9 @@ impl ExhaustiveMapper {
             0,
             horizon,
             deadline,
+            &nodes,
         );
+        obs::counter("exhaustive.search_nodes").add(nodes.get());
         ok.then_some(mapping)
     }
 
@@ -78,7 +85,9 @@ impl ExhaustiveMapper {
         depth: usize,
         horizon: u32,
         deadline: Instant,
+        nodes: &Cell<u64>,
     ) -> bool {
+        nodes.set(nodes.get() + 1);
         if depth == order.len() {
             return mapping.is_complete(dfg);
         }
@@ -139,6 +148,7 @@ impl ExhaustiveMapper {
                         depth + 1,
                         horizon,
                         deadline,
+                        nodes,
                     )
                 {
                     return true;
@@ -189,6 +199,7 @@ impl Mapper for ExhaustiveMapper {
         // The node-count guard sits in front of the engine: the oracle
         // refuses large instances outright, before any II is explored.
         if dfg.num_nodes() > self.max_nodes {
+            obs::counter("exhaustive.refused").incr();
             let start = Instant::now();
             let stats = MapStats {
                 mapper: self.name().to_string(),

@@ -26,6 +26,7 @@ use rand::{Rng, SeedableRng};
 use rewire_arch::{Cgra, PeId};
 use rewire_dfg::{Dfg, EdgeId, NodeId};
 use rewire_mrrg::{CostModel, Mrrg, NegotiatedCost, Resource, Router};
+use rewire_obs as obs;
 use std::time::Instant;
 
 /// Configuration of the PF* baseline.
@@ -137,26 +138,34 @@ impl PathFinderMapper {
             self.config.history_increment,
         );
 
+        let m_placements = obs::counter("pf.placements");
+        let m_rip_ups = obs::counter("pf.rip_ups");
+
         // Placement history: (node, PE) pairs that were tried and left
         // edges unrouted get progressively more expensive, the PathFinder
         // idea lifted from cells to placements. Without it the cost
         // landscape is static and endpoint pairs ping-pong forever.
         let mut placement_history = vec![0.0f64; dfg.num_nodes() * cgra.num_pes()];
-        for v in dfg.topo_order() {
-            self.place_min_cost(
-                dfg,
-                cgra,
-                &router,
-                &mut mapping,
-                &asap,
-                v,
-                &cost,
-                &mut placement_history,
-                rng,
-                deadline,
-            );
+        {
+            let _place_span = obs::span("place");
+            for v in dfg.topo_order() {
+                self.place_min_cost(
+                    dfg,
+                    cgra,
+                    &router,
+                    &mut mapping,
+                    &asap,
+                    v,
+                    &cost,
+                    &mut placement_history,
+                    rng,
+                    deadline,
+                );
+                m_placements.incr();
+            }
         }
 
+        let _negotiate_span = obs::span("negotiate");
         let mut iterations = 0u64;
         let trace = std::env::var_os("PF_TRACE").is_some();
         // Stall detection drives the escalation to *partial remapping*
@@ -226,6 +235,7 @@ impl PathFinderMapper {
                 }
             }
             mapping.unplace(dfg, victim);
+            m_rip_ups.incr();
             self.place_min_cost(
                 dfg,
                 cgra,
@@ -238,6 +248,7 @@ impl PathFinderMapper {
                 rng,
                 deadline,
             );
+            m_placements.incr();
             iterations += 1;
         }
         if mapping.is_complete(dfg) {
@@ -464,6 +475,7 @@ impl PathFinderMapper {
                         .iter()
                         .map(|((s, _), _)| *s)
                         .collect();
+                    obs::counter("pf.evictions").add(occupants.len() as u64);
                     for n in occupants {
                         mapping.unplace(dfg, n);
                     }

@@ -1,5 +1,6 @@
 //! Mapping statistics — the quantities Table I and Fig 6 report.
 
+use std::fmt;
 use std::time::Duration;
 
 /// Statistics of one mapping attempt (across all IIs explored).
@@ -18,6 +19,12 @@ pub struct MapStats {
     /// Total single-node remapping iterations across all IIs (the paper's
     /// Table I counter: one iteration = one node unmapped and retried).
     pub remap_iterations: u64,
+    /// Total coarse-grained progress rounds reported across all IIs
+    /// (negotiation iterations for PF*, annealing heartbeats for SA,
+    /// amendment restarts for Rewire) — the engine counts the
+    /// [`MapEvent::NegotiationRound`](crate::engine::MapEvent) events the
+    /// run emitted.
+    pub negotiation_rounds: u64,
     /// Total wall-clock time.
     pub elapsed: Duration,
 }
@@ -46,6 +53,33 @@ impl MapStats {
     }
 }
 
+/// One-line human-readable summary. This is the single formatting path
+/// shared by `rewire-map`'s final report and `rewire-report`'s per-run
+/// lines, so the two tools can never drift apart:
+///
+/// ```text
+/// PF*/fir: II 4 (MII 3) after 2 IIs, 123 iterations, 5 rounds, 12.3 ms
+/// SA/atax: failed (MII 3) after 18 IIs, 990 iterations, 40 rounds, 950.0 ms
+/// ```
+impl fmt::Display for MapStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}: ", self.mapper, self.kernel)?;
+        match self.achieved_ii {
+            Some(ii) => write!(f, "II {ii}")?,
+            None => write!(f, "failed")?,
+        }
+        write!(
+            f,
+            " (MII {}) after {} IIs, {} iterations, {} rounds, {:.1} ms",
+            self.mii,
+            self.iis_explored,
+            self.remap_iterations,
+            self.negotiation_rounds,
+            self.elapsed.as_secs_f64() * 1000.0
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,6 +93,7 @@ mod tests {
             achieved_ii: Some(4),
             iis_explored: 2,
             remap_iterations: 100,
+            negotiation_rounds: 5,
             elapsed: Duration::from_millis(5),
         };
         assert_eq!(s.remap_iterations_per_ii(), 50.0);
@@ -72,5 +107,41 @@ mod tests {
         assert!(!s.success());
         assert_eq!(s.gap_to_mii(), None);
         assert_eq!(s.remap_iterations_per_ii(), 0.0);
+    }
+
+    #[test]
+    fn display_is_one_line_with_all_counters() {
+        let s = MapStats {
+            mapper: "PF*".into(),
+            kernel: "fir".into(),
+            mii: 3,
+            achieved_ii: Some(4),
+            iis_explored: 2,
+            remap_iterations: 123,
+            negotiation_rounds: 5,
+            elapsed: Duration::from_micros(12_300),
+        };
+        assert_eq!(
+            s.to_string(),
+            "PF*/fir: II 4 (MII 3) after 2 IIs, 123 iterations, 5 rounds, 12.3 ms"
+        );
+    }
+
+    #[test]
+    fn display_marks_failures() {
+        let s = MapStats {
+            mapper: "SA".into(),
+            kernel: "atax".into(),
+            mii: 3,
+            iis_explored: 18,
+            remap_iterations: 990,
+            negotiation_rounds: 40,
+            elapsed: Duration::from_millis(950),
+            ..MapStats::default()
+        };
+        assert_eq!(
+            s.to_string(),
+            "SA/atax: failed (MII 3) after 18 IIs, 990 iterations, 40 rounds, 950.0 ms"
+        );
     }
 }

@@ -10,7 +10,9 @@
 use crate::{Mrrg, Occupancy, Resource, Route, RouteError, RouteRequest};
 use rewire_arch::{Cgra, PeId};
 use rewire_dfg::NodeId;
-use std::cell::RefCell;
+use rewire_obs as obs;
+use std::cell::{Cell, RefCell};
+use std::time::Instant;
 
 /// Pluggable cell-cost policy for the router.
 pub trait CostModel {
@@ -156,6 +158,39 @@ pub struct RouterScratch {
     next: Vec<f64>,
     /// Per-layer parent pointers: `(previous state, resource consumed)`.
     parents: Vec<Vec<(u32, Resource)>>,
+    /// Cached `router.*` metric handles, re-resolved when the thread's
+    /// metric scope changes (`rewire_obs::scope_epoch`). Keeping handles
+    /// here turns the per-call metrics flush into a few atomic adds.
+    metrics: Option<RouteMetricHandles>,
+}
+
+/// Resolved handles for the router's global metrics, valid for one metric
+/// scope on one thread (see [`RouterScratch::metrics`]).
+#[derive(Clone, Debug)]
+struct RouteMetricHandles {
+    epoch: u64,
+    route_calls: obs::Counter,
+    route_ok: obs::Counter,
+    route_failed: obs::Counter,
+    route_ns: obs::Counter,
+    expansions: obs::Counter,
+    retries: obs::Counter,
+    route_len: obs::Histogram,
+}
+
+impl RouteMetricHandles {
+    fn resolve() -> Self {
+        Self {
+            epoch: obs::scope_epoch(),
+            route_calls: obs::counter("router.route_calls"),
+            route_ok: obs::counter("router.route_ok"),
+            route_failed: obs::counter("router.route_failed"),
+            route_ns: obs::counter("router.route_ns"),
+            expansions: obs::counter("router.expansions"),
+            retries: obs::counter("router.retries"),
+            route_len: obs::histogram("router.route_len"),
+        }
+    }
 }
 
 impl RouterScratch {
@@ -183,6 +218,20 @@ impl RouterScratch {
             self.overlay_touched.push(idx);
         }
         self.overlay[idx] += penalty;
+    }
+
+    /// The `router.*` metric handles for the calling thread's current
+    /// scope, re-resolving when the scope has changed since they were
+    /// cached. Scratch instances are intended to stay on one thread (the
+    /// [`Router::route`] fast path keeps one per thread); a scratch moved
+    /// across threads still counts correctly, it only attributes to the
+    /// scope that was current when its handles were resolved.
+    fn metrics(&mut self) -> &RouteMetricHandles {
+        let epoch = obs::scope_epoch();
+        if self.metrics.as_ref().is_none_or(|m| m.epoch != epoch) {
+            self.metrics = Some(RouteMetricHandles::resolve());
+        }
+        self.metrics.as_ref().expect("handles were just resolved")
     }
 }
 
@@ -248,9 +297,39 @@ impl<'a> Router<'a> {
         cost: &impl CostModel,
         scratch: &mut RouterScratch,
     ) -> Result<Route, RouteError> {
+        let start = Instant::now();
+        let expansions = Cell::new(0u64);
+        let mut retries = 0u64;
+        let result = self.route_inner(occ, req, cost, scratch, &expansions, &mut retries);
+        let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        // Observe-only accounting: never feeds back into routing decisions.
+        let m = scratch.metrics();
+        m.route_calls.incr();
+        m.expansions.add(expansions.get());
+        m.retries.add(retries);
+        m.route_ns.add(elapsed_ns);
+        match &result {
+            Ok(route) => {
+                m.route_ok.incr();
+                m.route_len.record(route.resources().len() as u64);
+            }
+            Err(_) => m.route_failed.incr(),
+        }
+        result
+    }
+
+    fn route_inner(
+        &self,
+        occ: &Occupancy,
+        req: &RouteRequest,
+        cost: &impl CostModel,
+        scratch: &mut RouterScratch,
+        expansions: &Cell<u64>,
+        retries: &mut u64,
+    ) -> Result<Route, RouteError> {
         scratch.reset_overlay(self.mrrg.num_cells());
         for _attempt in 0..10 {
-            let route = self.route_attempt(occ, req, cost, scratch)?;
+            let route = self.route_attempt(occ, req, cost, scratch, expansions)?;
             let mut duplicates = Vec::new();
             for (i, a) in route.resources().iter().enumerate() {
                 if route.resources()[i + 1..].contains(a) && !duplicates.contains(a) {
@@ -260,6 +339,7 @@ impl<'a> Router<'a> {
             if duplicates.is_empty() {
                 return Ok(route);
             }
+            *retries += 1;
             // Steer the next attempt away from every looped cell.
             for cell in duplicates {
                 scratch.penalise(self.mrrg.index_of(cell), 8.0);
@@ -275,6 +355,7 @@ impl<'a> Router<'a> {
         req: &RouteRequest,
         cost: &impl CostModel,
         scratch: &mut RouterScratch,
+        expansions: &Cell<u64>,
     ) -> Result<Route, RouteError> {
         let len = req
             .num_steps()
@@ -355,6 +436,7 @@ impl<'a> Router<'a> {
                              res: Resource,
                              next_vec: &mut Vec<f64>,
                              parent_vec: &mut Vec<(u32, Resource)>| {
+                    expansions.set(expansions.get() + 1);
                     if let Some(c) = cost.cell_cost(occ, res, req.signal, k as u32) {
                         let cand = base + c + overlay[mrrg.index_of(res)];
                         if cand < next_vec[next_state] {
@@ -429,6 +511,7 @@ impl<'a> Router<'a> {
                 link: link.id(),
                 slot: arrive_slot,
             };
+            expansions.set(expansions.get() + 1);
             let Some(hop_cost) = cost.cell_cost(occ, res, req.signal, len as u32) else {
                 continue;
             };
@@ -779,6 +862,41 @@ mod tests {
         if let Ok(r) = out {
             assert!(r.hops() >= 2, "cannot idle in registers past II: {r}");
         }
+    }
+
+    #[test]
+    fn router_metrics_accumulate_under_scope() {
+        let (cgra, mrrg) = setup(2);
+        let occ = Occupancy::new(&mrrg);
+        let router = Router::new(&cgra, &mrrg);
+        // Unique scope so parallel tests sharing the global registry
+        // cannot interfere with the assertions.
+        let _scope = obs::scope("test/router_metrics_accumulate");
+        let mut scratch = RouterScratch::new();
+        router
+            .route_with(
+                &occ,
+                &req(0, pe(&cgra, 0, 0), 1, pe(&cgra, 0, 1), 2),
+                &UnitCost,
+                &mut scratch,
+            )
+            .unwrap();
+        router
+            .route_with(
+                &occ,
+                &req(0, pe(&cgra, 0, 0), 3, pe(&cgra, 0, 1), 2),
+                &UnitCost,
+                &mut scratch,
+            )
+            .unwrap_err();
+        let snap = obs::metrics().snapshot();
+        let s = &snap.scopes["test/router_metrics_accumulate"];
+        assert_eq!(s.counters["router.route_calls"], 2);
+        assert_eq!(s.counters["router.route_ok"], 1);
+        assert_eq!(s.counters["router.route_failed"], 1);
+        assert!(s.counters["router.expansions"] > 0, "relax calls counted");
+        assert_eq!(s.histograms["router.route_len"].count, 1);
+        assert_eq!(s.histograms["router.route_len"].min, Some(1));
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Fixed-bucket log2 histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of histogram buckets: bucket 0 holds the value 0 and bucket
+/// `i ≥ 1` holds `[2^(i-1), 2^i)`, so bucket 64 holds `[2^63, u64::MAX]`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// The shared cells behind a [`Histogram`] handle.
+#[derive(Debug)]
+pub(crate) struct HistCell {
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+    /// Initialised to `u64::MAX`; meaningless until `count > 0`.
+    pub(crate) min: AtomicU64,
+    pub(crate) max: AtomicU64,
+    pub(crate) buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl Default for HistCell {
+    fn default() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A cheap cloneable handle to one histogram's cells.
+///
+/// Buckets are log2-spaced ([`Histogram::bucket_of`]); recording is a
+/// handful of relaxed atomic operations, and the count/sum saturate rather
+/// than wrap so merged snapshots stay monotonic.
+#[derive(Clone, Debug)]
+pub struct Histogram(pub(crate) Arc<HistCell>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let c = &self.0;
+        saturating_fetch_add(&c.count, 1);
+        saturating_fetch_add(&c.sum, value);
+        c.min.fetch_min(value, Ordering::Relaxed);
+        c.max.fetch_max(value, Ordering::Relaxed);
+        c.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The bucket index a value falls into: 0 for the value 0, otherwise
+    /// `1 + floor(log2(value))`.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Smallest value of bucket `i` (`0`, then powers of two).
+    pub fn bucket_lo(i: usize) -> u64 {
+        assert!(i < NUM_BUCKETS, "bucket index {i} out of range");
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Largest value of bucket `i` (inclusive).
+    pub fn bucket_hi(i: usize) -> u64 {
+        assert!(i < NUM_BUCKETS, "bucket index {i} out of range");
+        match i {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Saturating sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// Relaxed saturating add on an atomic cell (counters must never wrap —
+/// a wrapped counter would read as a plausible small value).
+pub(crate) fn saturating_fetch_add(cell: &AtomicU64, n: u64) {
+    if n == 0 {
+        return;
+    }
+    // `fetch_update` with an always-`Some` closure cannot fail.
+    let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        Some(v.saturating_add(n))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_at_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_of(1u64 << 63), 64);
+        assert_eq!(Histogram::bucket_of((1u64 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn bucket_ranges_tile_the_u64_line() {
+        assert_eq!(Histogram::bucket_lo(0), 0);
+        assert_eq!(Histogram::bucket_hi(0), 0);
+        for i in 1..NUM_BUCKETS {
+            assert_eq!(Histogram::bucket_lo(i), Histogram::bucket_hi(i - 1) + 1);
+            assert_eq!(Histogram::bucket_of(Histogram::bucket_lo(i)), i);
+            assert_eq!(Histogram::bucket_of(Histogram::bucket_hi(i)), i);
+        }
+        assert_eq!(Histogram::bucket_hi(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn record_updates_all_cells() {
+        let h = Histogram(Arc::new(HistCell::default()));
+        for v in [0u64, 1, 5, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1006);
+        assert_eq!(h.0.min.load(Ordering::Relaxed), 0);
+        assert_eq!(h.0.max.load(Ordering::Relaxed), 1000);
+        assert_eq!(h.0.buckets[0].load(Ordering::Relaxed), 1);
+        assert_eq!(h.0.buckets[1].load(Ordering::Relaxed), 1);
+        assert_eq!(h.0.buckets[3].load(Ordering::Relaxed), 1);
+        assert_eq!(h.0.buckets[10].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let h = Histogram(Arc::new(HistCell::default()));
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+}

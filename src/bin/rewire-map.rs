@@ -36,6 +36,7 @@ struct Args {
     dot: Option<String>,
     verify: u32,
     trace: Option<String>,
+    metrics: Option<String>,
     progress: bool,
 }
 
@@ -60,6 +61,7 @@ impl Args {
             dot: None,
             verify: 0,
             trace: None,
+            metrics: None,
             progress: false,
         };
         let mut it = std::env::args().skip(1);
@@ -105,6 +107,7 @@ impl Args {
                         .map_err(|e| format!("--verify: {e}"))?
                 }
                 "--trace" => a.trace = Some(val("--trace")?),
+                "--metrics" => a.metrics = Some(val("--metrics")?),
                 "--progress" => a.progress = true,
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
@@ -132,6 +135,7 @@ usage: rewire-map (--kernel <name> | --dfg <file>) [options]
   --dot <file>                     write the DFG in Graphviz DOT
   --verify N                       simulate N iterations and check semantics
   --trace <file>                   write a JSONL MapEvent trace of the run
+  --metrics <file>                 write a metrics snapshot (counters, span timers) as JSON
   --progress                       print per-II mapping progress to stderr";
 
 fn build_cgra(a: &Args) -> Result<Cgra, String> {
@@ -224,31 +228,34 @@ fn main() -> ExitCode {
             }
         }
     }
+    if args.metrics.is_some() {
+        sinks.0.push(Box::new(MetricsSink::new()));
+    }
     if args.progress {
         sinks.0.push(Box::new(StderrProgress));
     }
 
     let outcome = mapper.map_with_events(&dfg, &cgra, &limits, &mut sinks);
-    drop(sinks); // flush the trace file before reporting
+    sinks.finish(); // flush the trace file before reporting
     if let Some(path) = &args.trace {
         println!("trace written to {path}");
     }
+    if let Some(path) = &args.metrics {
+        let mut json = rewire::obs::metrics().snapshot().to_json();
+        json.push('\n');
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("metrics written to {path}");
+    }
+    // The one-line summary below is the same `MapStats` Display that
+    // `rewire-report` prints per run, so the two tools read identically.
     let Some(mapping) = &outcome.mapping else {
-        eprintln!(
-            "{}: no mapping within budget (explored {} IIs in {:?})",
-            mapper.name(),
-            outcome.stats.iis_explored,
-            outcome.stats.elapsed
-        );
+        eprintln!("{}", outcome.stats);
         return ExitCode::from(1);
     };
-    println!(
-        "{}: mapped at II {} in {:?} ({} remapping iterations)",
-        mapper.name(),
-        mapping.ii(),
-        outcome.stats.elapsed,
-        outcome.stats.remap_iterations
-    );
+    println!("{}", outcome.stats);
     println!(
         "throughput 1/{} iter/cycle, pipeline fill {} cycles, 1000 iterations take {} cycles",
         mapping.ii(),

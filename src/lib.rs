@@ -9,6 +9,7 @@
 //! * [`mrrg`] — modulo routing resource graph, occupancy and routers,
 //! * [`mappers`] — mapping state/validation and the PF* / SA baselines,
 //! * [`core`] — the Rewire mapper itself,
+//! * [`obs`] — zero-dependency metrics: counters, histograms, span timers,
 //! * [`sim`] — cycle-accurate functional simulation and configuration
 //!   generation.
 //!
@@ -39,6 +40,7 @@ pub use rewire_core as core;
 pub use rewire_dfg as dfg;
 pub use rewire_mappers as mappers;
 pub use rewire_mrrg as mrrg;
+pub use rewire_obs as obs;
 pub use rewire_sim as sim;
 
 /// The items most programs need, under one import.
@@ -46,7 +48,9 @@ pub mod prelude {
     pub use rewire_arch::{presets, Cgra, CgraBuilder, OpKind, PeId};
     pub use rewire_core::{RewireConfig, RewireMapper, RewireStats};
     pub use rewire_dfg::{kernels, Dfg, NodeId};
-    pub use rewire_mappers::engine::{EventSink, JsonlTrace, MapEvent, Silent, StderrProgress};
+    pub use rewire_mappers::engine::{
+        EventSink, JsonlTrace, MapEvent, MetricsSink, Silent, StderrProgress,
+    };
     pub use rewire_mappers::{
         MapLimits, MapOutcome, MapStats, Mapper, Mapping, PathFinderMapper, SaMapper,
     };

@@ -18,7 +18,8 @@ fn maps_a_kernel_and_reports() {
         "stderr: {}",
         String::from_utf8_lossy(&out.stderr)
     );
-    assert!(stdout.contains("mapped at II"));
+    // The success summary is the `MapStats` Display one-liner.
+    assert!(stdout.contains("Rewire/fir: II "), "summary: {stdout}");
     assert!(stdout.contains("semantics verified"));
 }
 

@@ -10,7 +10,9 @@
 //! reruns.
 
 use rewire::prelude::*;
-use rewire_mappers::engine::{worker_seed, AttemptCtx, Emitter, IiAttempt, RunMeta, Silent};
+use rewire_mappers::engine::{
+    worker_seed, AttemptCtx, Emitter, Fanout, IiAttempt, JsonlTrace, MetricsSink, RunMeta, Silent,
+};
 use rewire_mappers::{PathFinderConfig, SaConfig};
 use std::time::{Duration, Instant};
 
@@ -84,6 +86,42 @@ fn suite_results_are_byte_identical_run_to_run() {
             assert_eq!(a, b, "{} on {name} diverged between reruns", mapper.name());
         }
     }
+}
+
+/// Observability must be observe-only: attaching the full sink stack
+/// (JSONL trace + metrics counters) to a run must leave its result —
+/// achieved II, iteration counts, every single placement — byte-identical
+/// to the silent run. Counting and timing never feed back into search
+/// decisions.
+#[test]
+fn metrics_and_trace_sinks_never_change_results() {
+    let cgra = presets::paper_4x4_r4();
+    let suite = kernels::all();
+    let mut covered = 0usize;
+    for mapper in capped_mappers() {
+        covered = 0;
+        for (name, dfg) in suite.iter().take(12) {
+            let Some(limits) = limits_for(dfg, &cgra) else {
+                continue;
+            };
+            covered += 1;
+            let silent = fingerprint(dfg, &mapper.map(dfg, &cgra, &limits));
+            let mut observed_sinks = Fanout::default();
+            observed_sinks.0.push(Box::new(JsonlTrace::new(Vec::new())));
+            observed_sinks.0.push(Box::new(MetricsSink::new()));
+            let observed = fingerprint(
+                dfg,
+                &mapper.map_with_events(dfg, &cgra, &limits, &mut observed_sinks),
+            );
+            assert_eq!(
+                silent,
+                observed,
+                "{} on {name}: trace/metrics sinks changed the result",
+                mapper.name()
+            );
+        }
+    }
+    assert!(covered >= 10, "only {covered} kernels were comparable");
 }
 
 /// A faithful replica of the outer loop every mapper used to hand-roll
