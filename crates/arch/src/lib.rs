@@ -45,6 +45,7 @@ mod link;
 mod ops;
 mod pe;
 pub mod presets;
+pub mod random;
 
 pub use builder::CgraBuilder;
 pub use cgra::Cgra;

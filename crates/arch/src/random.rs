@@ -1,0 +1,342 @@
+//! Seeded random fabric generation for the differential fuzz harness.
+//!
+//! Mirrors `rewire_dfg::generate` on the architecture side: the fuzzer
+//! pairs a random DFG with a random fabric and asks every mapper about the
+//! combination. A [`CgraSpec`] is the persistable intermediate — small,
+//! printable, and exactly reconstructible — so a shrunk failure artifact
+//! can embed the fabric alongside the DFG text.
+
+use crate::{BuildCgraError, Cgra, CgraBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::str::FromStr;
+
+/// A buildable description of a mesh CGRA: everything [`CgraBuilder`]
+/// accepts, as plain data.
+///
+/// Unlike [`Cgra`] (id-resolved PEs and links), a spec is cheap to store,
+/// compare and print; [`CgraSpec::build`] re-derives the full fabric
+/// deterministically. The fuzz corpus stores specs in their
+/// [`Display`](fmt::Display) form, e.g. `4x4 regs=2 banks=2 memcols=0
+/// torus diag`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CgraSpec {
+    /// Mesh rows.
+    pub rows: u16,
+    /// Mesh columns.
+    pub cols: u16,
+    /// Register cells per PE.
+    pub regs_per_pe: u8,
+    /// On-chip memory banks (0 = pure-compute fabric).
+    pub memory_banks: u16,
+    /// Columns whose PEs may issue memory operations (sorted, deduped).
+    pub memory_columns: Vec<u16>,
+    /// Torus wrap-around links.
+    pub torus: bool,
+    /// Diagonal single-hop links.
+    pub diagonals: bool,
+}
+
+impl CgraSpec {
+    /// Builds the fabric this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCgraError`] for hand-written inconsistent specs
+    /// (empty grid, memory column out of range, banks without columns);
+    /// specs from [`random_cgra_spec`] always build.
+    pub fn build(&self) -> Result<Cgra, BuildCgraError> {
+        CgraBuilder::new(self.rows, self.cols)
+            .regs_per_pe(self.regs_per_pe)
+            .memory_banks(self.memory_banks)
+            .memory_columns(self.memory_columns.iter().copied())
+            .torus(self.torus)
+            .diagonals(self.diagonals)
+            .build()
+    }
+}
+
+impl fmt::Display for CgraSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} regs={} banks={}",
+            self.rows, self.cols, self.regs_per_pe, self.memory_banks
+        )?;
+        if !self.memory_columns.is_empty() {
+            let cols: Vec<String> = self.memory_columns.iter().map(u16::to_string).collect();
+            write!(f, " memcols={}", cols.join(","))?;
+        }
+        if self.torus {
+            f.write_str(" torus")?;
+        }
+        if self.diagonals {
+            f.write_str(" diag")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error from parsing a [`CgraSpec`] display string.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseCgraSpecError(String);
+
+impl fmt::Display for ParseCgraSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad CGRA spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseCgraSpecError {}
+
+impl FromStr for CgraSpec {
+    type Err = ParseCgraSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut tokens = s.split_whitespace();
+        let dims = tokens
+            .next()
+            .ok_or_else(|| ParseCgraSpecError("empty spec".into()))?;
+        let (rows, cols) = dims
+            .split_once('x')
+            .ok_or_else(|| ParseCgraSpecError(format!("expected RxC, got '{dims}'")))?;
+        let parse_num = |what: &str, v: &str| -> Result<u64, ParseCgraSpecError> {
+            v.parse()
+                .map_err(|_| ParseCgraSpecError(format!("bad {what} '{v}'")))
+        };
+        let mut spec = CgraSpec {
+            rows: parse_num("rows", rows)? as u16,
+            cols: parse_num("cols", cols)? as u16,
+            regs_per_pe: 4,
+            memory_banks: 0,
+            memory_columns: Vec::new(),
+            torus: false,
+            diagonals: false,
+        };
+        for tok in tokens {
+            if let Some(v) = tok.strip_prefix("regs=") {
+                spec.regs_per_pe = parse_num("regs", v)? as u8;
+            } else if let Some(v) = tok.strip_prefix("banks=") {
+                spec.memory_banks = parse_num("banks", v)? as u16;
+            } else if let Some(v) = tok.strip_prefix("memcols=") {
+                for c in v.split(',') {
+                    spec.memory_columns.push(parse_num("memcol", c)? as u16);
+                }
+            } else if tok == "torus" {
+                spec.torus = true;
+            } else if tok == "diag" {
+                spec.diagonals = true;
+            } else {
+                return Err(ParseCgraSpecError(format!("unknown token '{tok}'")));
+            }
+        }
+        Ok(spec)
+    }
+}
+
+/// Parameters for [`random_cgra_spec`].
+///
+/// Defaults sample small fabrics (2×2 up to 6×6) around the paper's 4×4
+/// baseline, with occasional torus/diagonal interconnects and occasional
+/// memory-free fabrics — the latter deliberately produce infeasible
+/// scenarios (a DFG with loads on a fabric with no memory PEs) so the
+/// fuzzer also exercises every mapper's give-up paths.
+#[derive(Clone, Debug)]
+pub struct RandomCgraParams {
+    /// Inclusive row range.
+    pub rows: (u16, u16),
+    /// Inclusive column range.
+    pub cols: (u16, u16),
+    /// Inclusive registers-per-PE range.
+    pub regs_per_pe: (u8, u8),
+    /// Probability the fabric has memory banks at all.
+    pub memory_prob: f64,
+    /// Inclusive bank-count range when memory is present.
+    pub memory_banks: (u16, u16),
+    /// Maximum number of memory columns when memory is present (at least 1
+    /// is always chosen; capped by the fabric's column count).
+    pub max_memory_columns: u16,
+    /// Probability of torus wrap-around links.
+    pub torus_prob: f64,
+    /// Probability of diagonal links.
+    pub diagonal_prob: f64,
+}
+
+impl Default for RandomCgraParams {
+    fn default() -> Self {
+        Self {
+            rows: (2, 6),
+            cols: (2, 6),
+            regs_per_pe: (1, 4),
+            memory_prob: 0.85,
+            memory_banks: (1, 4),
+            max_memory_columns: 2,
+            torus_prob: 0.15,
+            diagonal_prob: 0.15,
+        }
+    }
+}
+
+/// Draws a random fabric spec. Deterministic: same `params` and `seed` ⇒
+/// identical spec.
+///
+/// The result always satisfies [`CgraBuilder`]'s invariants (non-empty
+/// grid, in-range memory columns, banks ⇔ columns), so
+/// [`CgraSpec::build`] cannot fail on it.
+///
+/// # Examples
+///
+/// ```
+/// use rewire_arch::random::{random_cgra_spec, RandomCgraParams};
+/// let spec = random_cgra_spec(&RandomCgraParams::default(), 7);
+/// assert_eq!(spec, random_cgra_spec(&RandomCgraParams::default(), 7));
+/// let cgra = spec.build().expect("random specs always build");
+/// assert!(cgra.num_pes() >= 4);
+/// ```
+///
+/// # Panics
+///
+/// Panics if a range in `params` is inverted (e.g. `rows.0 > rows.1`).
+pub fn random_cgra_spec(params: &RandomCgraParams, seed: u64) -> CgraSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = rng.random_range(params.rows.0..=params.rows.1).max(1);
+    let cols = rng.random_range(params.cols.0..=params.cols.1).max(1);
+    let regs_per_pe = rng
+        .random_range(params.regs_per_pe.0..=params.regs_per_pe.1)
+        .max(1);
+
+    let (memory_banks, memory_columns) = if rng.random_bool(params.memory_prob) {
+        let banks = rng
+            .random_range(params.memory_banks.0..=params.memory_banks.1)
+            .max(1);
+        let n_cols = rng
+            .random_range(1..=params.max_memory_columns.max(1))
+            .min(cols);
+        let mut all: Vec<u16> = (0..cols).collect();
+        all.shuffle(&mut rng);
+        let mut chosen: Vec<u16> = all.into_iter().take(n_cols as usize).collect();
+        chosen.sort_unstable();
+        (banks, chosen)
+    } else {
+        (0, Vec::new())
+    };
+
+    CgraSpec {
+        rows,
+        cols,
+        regs_per_pe,
+        memory_banks,
+        memory_columns,
+        torus: rng.random_bool(params.torus_prob),
+        diagonals: rng.random_bool(params.diagonal_prob),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = RandomCgraParams::default();
+        assert_eq!(random_cgra_spec(&p, 3), random_cgra_spec(&p, 3));
+    }
+
+    #[test]
+    fn seeds_vary_the_fabric() {
+        let p = RandomCgraParams::default();
+        let distinct: std::collections::HashSet<String> = (0..32)
+            .map(|s| random_cgra_spec(&p, s).to_string())
+            .collect();
+        assert!(distinct.len() > 8, "only {} distinct specs", distinct.len());
+    }
+
+    #[test]
+    fn every_random_spec_builds() {
+        let p = RandomCgraParams::default();
+        for seed in 0..200 {
+            let spec = random_cgra_spec(&p, seed);
+            let cgra = spec.build().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(
+                cgra.num_pes() as u32,
+                spec.rows as u32 * spec.cols as u32,
+                "seed {seed}"
+            );
+            assert!(spec.regs_per_pe >= 1);
+            // Banks and columns are consistent by construction.
+            assert_eq!(
+                spec.memory_banks == 0,
+                spec.memory_columns.is_empty(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_free_fabrics_occur() {
+        let p = RandomCgraParams {
+            memory_prob: 0.5,
+            ..Default::default()
+        };
+        let free = (0..64)
+            .filter(|&s| random_cgra_spec(&p, s).memory_banks == 0)
+            .count();
+        assert!(free > 0, "no memory-free fabric in 64 seeds");
+        assert!(free < 64, "every fabric memory-free in 64 seeds");
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let p = RandomCgraParams::default();
+        for seed in 0..64 {
+            let spec = random_cgra_spec(&p, seed);
+            let parsed: CgraSpec = spec.to_string().parse().unwrap();
+            assert_eq!(parsed, spec, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn display_round_trips_hand_written() {
+        let spec = CgraSpec {
+            rows: 3,
+            cols: 5,
+            regs_per_pe: 2,
+            memory_banks: 2,
+            memory_columns: vec![0, 4],
+            torus: true,
+            diagonals: true,
+        };
+        let s = spec.to_string();
+        assert_eq!(s, "3x5 regs=2 banks=2 memcols=0,4 torus diag");
+        assert_eq!(s.parse::<CgraSpec>().unwrap(), spec);
+    }
+
+    #[test]
+    fn parse_rejects_junk() {
+        assert!("".parse::<CgraSpec>().is_err());
+        assert!("4".parse::<CgraSpec>().is_err());
+        assert!("4x4 wat".parse::<CgraSpec>().is_err());
+        assert!("4x4 regs=zz".parse::<CgraSpec>().is_err());
+        let err = "nope".parse::<CgraSpec>().unwrap_err();
+        assert!(err.to_string().contains("expected RxC"));
+    }
+
+    #[test]
+    fn hand_written_bad_spec_fails_build() {
+        let spec = CgraSpec {
+            rows: 2,
+            cols: 2,
+            regs_per_pe: 1,
+            memory_banks: 1,
+            memory_columns: vec![9],
+            torus: false,
+            diagonals: false,
+        };
+        assert!(matches!(
+            spec.build(),
+            Err(BuildCgraError::MemoryColumnOutOfRange { .. })
+        ));
+    }
+}

@@ -10,6 +10,9 @@ use rewire_arch::OpKind;
 ///
 /// Defaults produce kernels in the paper's size band (26–51 nodes) with a
 /// realistic mix of memory ops, fan-out and one loop-carried recurrence.
+/// The fuzz harness (`rewire-fuzz`) varies every knob to reach the corners
+/// the curated suite never visits: deep recurrences, skewed fan-out hubs,
+/// memory-saturated graphs and multi-iteration carry distances.
 #[derive(Clone, Debug)]
 pub struct RandomDfgParams {
     /// Number of nodes.
@@ -20,8 +23,23 @@ pub struct RandomDfgParams {
     pub memory_fraction: f64,
     /// Number of loop-carried accumulator recurrences to weave in.
     pub recurrences: usize,
-    /// Maximum iteration distance for recurrence back-edges.
+    /// Maximum iteration distance for recurrence back-edges. Distances are
+    /// assigned *stratified* across the recurrences (see [`random_dfg`]),
+    /// so every value in `1..=max_distance` is exercised once
+    /// `recurrences >= max_distance`.
     pub max_distance: u32,
+    /// Number of intra-iteration nodes on each recurrence cycle besides
+    /// the `Phi` (cycle latency = `recurrence_depth + 1`). Depth 1
+    /// reproduces the classic accumulator `phi -> body -> phi`; larger
+    /// depths raise RecMII (`ceil((depth + 1) / distance)`) and stress the
+    /// router's loop-carried timing paths.
+    pub recurrence_depth: usize,
+    /// Fan-out skew exponent for predecessor selection. `1.0` picks
+    /// parents uniformly (the historical behaviour, bit-identical RNG
+    /// stream); values above `1.0` bias edges toward early (low-index)
+    /// nodes, producing the hub-dominated graphs that stress placement
+    /// around high-fan-out values.
+    pub fanout_skew: f64,
 }
 
 impl Default for RandomDfgParams {
@@ -32,6 +50,8 @@ impl Default for RandomDfgParams {
             memory_fraction: 0.2,
             recurrences: 1,
             max_distance: 1,
+            recurrence_depth: 1,
+            fanout_skew: 1.0,
         }
     }
 }
@@ -44,6 +64,14 @@ impl Default for RandomDfgParams {
 /// forward intra-iteration edges, so the distance-0 subgraph is acyclic by
 /// construction; recurrences are added as distance ≥ 1 back-edges through a
 /// `Phi` node, the way real loop-carried accumulators lower.
+///
+/// Recurrence distances are assigned stratified rather than independently:
+/// recurrence `r` gets distance `1 + (offset + r) mod max_distance` with a
+/// seeded random `offset`. Independent uniform draws under-covered the
+/// large distances (a seed with every draw landing on 1 left the
+/// distance-`d` RecMII paths of the router untested); stratification
+/// guarantees all distances in `1..=max_distance` appear whenever
+/// `recurrences >= max_distance`, while staying deterministic per seed.
 ///
 /// # Examples
 ///
@@ -96,27 +124,48 @@ pub fn random_dfg(params: &RandomDfgParams, seed: u64) -> Dfg {
     // this by the index-based op assignment above plus the forward-edge rule
     // below (stores end up as sinks of whatever feeds them).
 
+    // Picks an earlier node as a predecessor. Skew 1.0 keeps the uniform
+    // draw (and the exact historical RNG stream); skew > 1.0 maps a
+    // uniform sample through x^skew, concentrating mass on low indices so
+    // early nodes become high-fan-out hubs.
+    let pick_parent = |rng: &mut StdRng, i: usize| -> usize {
+        if params.fanout_skew == 1.0 {
+            rng.random_range(0..i)
+        } else {
+            let u = rng.random_range(0.0..1.0f64);
+            ((u.powf(params.fanout_skew) * i as f64) as usize).min(i - 1)
+        }
+    };
+
     // Connect every node (except the first) to at least one earlier node so
     // the graph is weakly connected and intra-acyclic.
     for i in 1..params.nodes {
-        let p = rng.random_range(0..i);
+        let p = pick_parent(&mut rng, i);
         g.add_edge(ids[p], ids[i], 0).expect("forward edge");
         if rng.random_bool(params.second_operand_prob) && i > 1 {
-            let q = rng.random_range(0..i);
+            let q = pick_parent(&mut rng, i);
             if q != p {
                 g.add_edge(ids[q], ids[i], 0).expect("forward edge");
             }
         }
     }
 
-    // Weave in accumulator recurrences: phi -> ... existing node ... with a
-    // back edge of random distance.
+    // Weave in accumulator recurrences: phi -> (depth-long body chain) with
+    // a back edge whose distance is stratified over 1..=max_distance.
+    let max_distance = params.max_distance.max(1);
+    let depth = params.recurrence_depth.max(1);
+    let distance_offset = rng.random_range(0..max_distance);
     for r in 0..params.recurrences {
         let phi = g.add_node(format!("phi{r}"), OpKind::Phi);
-        let body = ids[rng.random_range(0..ids.len())];
-        let distance = rng.random_range(1..=params.max_distance.max(1));
-        g.add_edge(phi, body, 0).expect("phi feed");
-        g.add_edge(body, phi, distance).expect("back edge");
+        let mut tail = ids[rng.random_range(0..ids.len())];
+        g.add_edge(phi, tail, 0).expect("phi feed");
+        for d in 1..depth {
+            let body = g.add_node(format!("rec{r}_{d}"), OpKind::Add);
+            g.add_edge(tail, body, 0).expect("cycle body edge");
+            tail = body;
+        }
+        let distance = 1 + (distance_offset + r as u32) % max_distance;
+        g.add_edge(tail, phi, distance).expect("back edge");
     }
 
     debug_assert!(g.validate().is_ok());
@@ -182,6 +231,112 @@ mod tests {
         };
         let g = random_dfg(&p, 11);
         assert_eq!(g.num_nodes(), 32);
+    }
+
+    #[test]
+    fn recurrence_depth_adds_cycle_nodes_and_raises_rec_mii() {
+        let p = RandomDfgParams {
+            nodes: 20,
+            recurrences: 1,
+            recurrence_depth: 4,
+            ..Default::default()
+        };
+        let g = random_dfg(&p, 13);
+        // 20 base nodes + phi + 3 extra cycle-body nodes.
+        assert_eq!(g.num_nodes(), 24);
+        // Cycle latency = depth + 1 = 5 at distance 1.
+        assert_eq!(g.rec_mii(), 5);
+        assert!(g.validate().is_ok());
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn distances_are_stratified_across_recurrences() {
+        // With recurrences >= max_distance, every distance in
+        // 1..=max_distance must appear — this is the property the old
+        // independent-draw generator violated on unlucky seeds.
+        for seed in 0..20 {
+            let p = RandomDfgParams {
+                nodes: 16,
+                recurrences: 3,
+                max_distance: 3,
+                ..Default::default()
+            };
+            let g = random_dfg(&p, seed);
+            let mut seen = [false; 4];
+            for e in g.edges() {
+                if e.distance() > 0 {
+                    assert!(e.distance() <= 3, "seed {seed}: distance within bound");
+                    seen[e.distance() as usize] = true;
+                }
+            }
+            assert!(
+                seen[1] && seen[2] && seen[3],
+                "seed {seed}: all distances 1..=3 exercised, saw {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn distance_beyond_one_appears_even_with_one_recurrence() {
+        // A single recurrence with max_distance 4 picks a seeded offset;
+        // across a small seed set, distances > 1 must show up.
+        let p = RandomDfgParams {
+            nodes: 12,
+            recurrences: 1,
+            max_distance: 4,
+            ..Default::default()
+        };
+        let mut saw_deep = false;
+        for seed in 0..16 {
+            let g = random_dfg(&p, seed);
+            if g.edges().any(|e| e.distance() > 1) {
+                saw_deep = true;
+            }
+        }
+        assert!(saw_deep, "distance > 1 never generated across 16 seeds");
+    }
+
+    #[test]
+    fn fanout_skew_creates_hubs() {
+        let uniform = RandomDfgParams {
+            nodes: 60,
+            fanout_skew: 1.0,
+            ..Default::default()
+        };
+        let skewed = RandomDfgParams {
+            nodes: 60,
+            fanout_skew: 4.0,
+            ..Default::default()
+        };
+        let max_out = |p: &RandomDfgParams| {
+            let mut best = 0usize;
+            for seed in 0..8 {
+                let g = random_dfg(p, seed);
+                for v in g.node_ids() {
+                    best = best.max(g.out_edges(v).count());
+                }
+            }
+            best
+        };
+        assert!(
+            max_out(&skewed) > max_out(&uniform),
+            "skew 4.0 should concentrate fan-out on early nodes"
+        );
+        // Skewed graphs remain structurally sound.
+        let g = random_dfg(&skewed, 3);
+        assert!(g.validate().is_ok());
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn default_params_reproduce_the_historical_stream() {
+        // fanout_skew 1.0 / depth 1 must keep the pre-extension RNG
+        // consumption for the forward-edge phase, so existing seeds keep
+        // their graphs (corpus artifacts and pinned tests depend on it).
+        let g = random_dfg(&RandomDfgParams::default(), 42);
+        assert_eq!(g.num_nodes(), 39); // 38 + 1 phi
+        assert!(g.is_connected());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Loop transforms on DFGs.
 
-use crate::{Dfg, NodeId};
+use crate::{Dfg, EdgeId, NodeId};
 
 impl Dfg {
     /// Unrolls the loop body `factor` times, following the paper's stress
@@ -59,6 +59,60 @@ impl Dfg {
                 let dst = copies[dst_copy][e.dst().index()];
                 out.add_edge(src, dst, new_distance)
                     .expect("replicated endpoints exist");
+            }
+        }
+        out
+    }
+
+    /// Returns a copy of the graph without `victim` and without every edge
+    /// touching it. Remaining nodes keep their names and relative order
+    /// (ids are re-densified).
+    ///
+    /// `Dfg` has no in-place removal — ids are dense indices into the node
+    /// and edge arrays — so reduction passes (most prominently the fuzz
+    /// shrinker) rebuild instead. The result may be disconnected; callers
+    /// that need connectivity should check [`Dfg::is_connected`].
+    pub fn without_node(&self, victim: NodeId) -> Dfg {
+        let mut out = Dfg::new(self.name());
+        let mut remap = vec![None; self.num_nodes()];
+        for node in self.nodes() {
+            if node.id() != victim {
+                remap[node.id().index()] = Some(out.add_node(node.name(), node.op()));
+            }
+        }
+        for e in self.edges() {
+            if let (Some(src), Some(dst)) = (remap[e.src().index()], remap[e.dst().index()]) {
+                out.add_edge(src, dst, e.distance())
+                    .expect("surviving endpoints are valid");
+            }
+        }
+        out
+    }
+
+    /// Returns a copy of the graph without the edge `victim`; nodes are
+    /// unchanged. See [`Dfg::without_node`] for why this rebuilds.
+    pub fn without_edge(&self, victim: EdgeId) -> Dfg {
+        self.rebuild_edges(|id, _, _, d| if id == victim { None } else { Some(d) })
+    }
+
+    /// Returns a copy of the graph with edge `victim`'s iteration distance
+    /// replaced by `distance`; everything else is unchanged.
+    ///
+    /// The shrinker uses this to walk a failing back-edge's distance down
+    /// toward 1, isolating whether a bug depends on deep loop carries.
+    pub fn with_edge_distance(&self, victim: EdgeId, distance: u32) -> Dfg {
+        self.rebuild_edges(|id, _, _, d| Some(if id == victim { distance } else { d }))
+    }
+
+    fn rebuild_edges(&self, mut f: impl FnMut(EdgeId, NodeId, NodeId, u32) -> Option<u32>) -> Dfg {
+        let mut out = Dfg::new(self.name());
+        for node in self.nodes() {
+            out.add_node(node.name(), node.op());
+        }
+        for e in self.edges() {
+            if let Some(d) = f(e.id(), e.src(), e.dst(), e.distance()) {
+                out.add_edge(e.src(), e.dst(), d)
+                    .expect("endpoints unchanged");
             }
         }
         out
@@ -139,5 +193,50 @@ mod tests {
     #[should_panic(expected = "unroll factor must be positive")]
     fn zero_factor_panics() {
         acc().unroll(0);
+    }
+
+    #[test]
+    fn without_node_drops_node_and_incident_edges() {
+        let g = acc();
+        let ld = g.node_by_name("ld").unwrap().id();
+        let smaller = g.without_node(ld);
+        assert_eq!(smaller.num_nodes(), 2);
+        assert_eq!(smaller.num_edges(), 2); // phi->add, add->phi survive
+        assert!(smaller.node_by_name("ld").is_none());
+        assert!(smaller.node_by_name("phi").is_some());
+        assert!(smaller.validate().is_ok());
+    }
+
+    #[test]
+    fn without_node_redensifies_ids() {
+        let g = acc();
+        let phi = g.node_by_name("phi").unwrap().id();
+        let smaller = g.without_node(phi);
+        // Remaining ids are dense starting from 0.
+        let ids: Vec<_> = smaller.node_ids().map(|v| v.index()).collect();
+        assert_eq!(ids, vec![0, 1]);
+        // Back-edge died with its endpoint; ld->add survives.
+        assert_eq!(smaller.num_edges(), 1);
+    }
+
+    #[test]
+    fn without_edge_keeps_nodes() {
+        let g = acc();
+        let back = g.edges().find(|e| e.distance() == 1).unwrap().id();
+        let smaller = g.without_edge(back);
+        assert_eq!(smaller.num_nodes(), 3);
+        assert_eq!(smaller.num_edges(), 2);
+        assert!(smaller.edges().all(|e| e.distance() == 0));
+    }
+
+    #[test]
+    fn with_edge_distance_rewrites_one_edge() {
+        let g = acc();
+        let back = g.edges().find(|e| e.distance() == 1).unwrap().id();
+        let deep = g.with_edge_distance(back, 3);
+        assert_eq!(deep.num_edges(), g.num_edges());
+        assert_eq!(deep.edge(back).distance(), 3);
+        // RecMII drops: 2-op cycle over distance 3 needs ceil(2/3) = 1.
+        assert_eq!(deep.rec_mii(), 1);
     }
 }

@@ -89,6 +89,33 @@ proptest! {
         prop_assert_eq!(d_ab, d_ba);
     }
 
+    /// Recurrence back-edge distances are stratified: never out of bounds,
+    /// and once `recurrences >= max_distance` every distance in
+    /// `1..=max_distance` is present. Pins the distance distribution the
+    /// fuzz harness relies on (the old independent draws could leave
+    /// distance > 1 — and hence the router's deep RecMII paths — untested
+    /// for arbitrarily many seeds).
+    #[test]
+    fn recurrence_distance_distribution(seed in 0u64..100_000, maxd in 1u32..6) {
+        let p = RandomDfgParams {
+            nodes: 12,
+            recurrences: maxd as usize,
+            max_distance: maxd,
+            ..Default::default()
+        };
+        let g = random_dfg(&p, seed);
+        let mut seen = vec![false; maxd as usize + 1];
+        for e in g.edges() {
+            if e.distance() > 0 {
+                prop_assert!(e.distance() <= maxd);
+                seen[e.distance() as usize] = true;
+            }
+        }
+        for (d, hit) in seen.iter().enumerate().skip(1) {
+            prop_assert!(hit, "distance {} missing with max_distance {}", d, maxd);
+        }
+    }
+
     /// The DOT export mentions every node and every edge arrow.
     #[test]
     fn dot_is_complete(seed in 0u64..100_000, n in 2usize..20) {

@@ -1,0 +1,399 @@
+//! The fuzz loop: scenario → four mappers → oracle stack → (on failure)
+//! shrink → artifact.
+//!
+//! Determinism contract: the same seed produces a byte-identical scenario,
+//! mapper outcomes, violations and shrink trace, because every stochastic
+//! loop in the mappers is bounded by *deterministic caps* (the same
+//! configuration `tests/engine_determinism.rs` pins) under a wall-clock
+//! budget generous enough never to bind. `--budget-ms` is a safety net for
+//! pathological scenarios, not the intended stopping rule.
+
+use crate::artifact::{Artifact, Expectation};
+use crate::oracle::{run_oracle, CheckKind, CrossMapperPolicy, MapperRun, OracleConfig, Violation};
+use crate::scenario::Scenario;
+use crate::shrink::{shrink, ShrinkResult};
+use rewire_arch::random::CgraSpec;
+use rewire_arch::Cgra;
+use rewire_bench::parallel_map;
+use rewire_core::{RewireConfig, RewireMapper};
+use rewire_dfg::Dfg;
+use rewire_mappers::{
+    ExhaustiveMapper, MapLimits, Mapper, PathFinderConfig, PathFinderMapper, SaConfig, SaMapper,
+};
+use rewire_obs as obs;
+use std::time::Duration;
+
+/// Knobs of one fuzz campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzConfig {
+    /// Per-II wall-clock safety net per mapper, in milliseconds. The
+    /// deterministic iteration caps are sized to finish far below it.
+    pub budget_ms: u64,
+    /// Sweep `mii..=mii + extra_ii` (bounds the differential comparison
+    /// and the cross-mapper "full sweep" criterion).
+    pub extra_ii: u32,
+    /// Iterations simulated by the semantic check.
+    pub sim_iterations: u32,
+    /// Maximum candidate evaluations the shrinker may spend per failure.
+    pub shrink_budget: u32,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        Self {
+            budget_ms: 200,
+            extra_ii: 3,
+            sim_iterations: 8,
+            shrink_budget: 300,
+        }
+    }
+}
+
+/// Search-tree node cap for the exhaustive oracle: deterministic
+/// truncation instead of the wall-clock deadline, so outcomes replay
+/// byte-identically. The oracle reports its search-node total, letting
+/// the cross-mapper check distrust failures whenever the total reached
+/// this cap.
+pub const EXHAUSTIVE_SEARCH_CAP: u64 = 10_000;
+
+/// The four mappers of the differential stack, every stochastic loop
+/// bounded by deterministic caps (the `tests/engine_determinism.rs`
+/// configuration) so outcomes replay byte-identically.
+pub fn differential_mappers() -> Vec<Box<dyn Mapper>> {
+    vec![
+        Box::new(RewireMapper::with_config(RewireConfig {
+            max_cluster_attempts: 6,
+            max_restarts_per_ii: 1,
+            ..Default::default()
+        })),
+        Box::new(PathFinderMapper::with_config(PathFinderConfig {
+            max_iterations_per_ii: 60,
+            max_full_evals: 6,
+            ..Default::default()
+        })),
+        Box::new(SaMapper::with_config(SaConfig {
+            max_iterations_per_ii: 150,
+            max_restarts_per_ii: 1,
+            ..Default::default()
+        })),
+        Box::new(ExhaustiveMapper::new().with_max_search_nodes(EXHAUSTIVE_SEARCH_CAP)),
+    ]
+}
+
+/// Runs all four mappers on one instance and applies the oracle stack.
+pub fn evaluate(
+    dfg: &Dfg,
+    cgra: &Cgra,
+    mapper_seed: u64,
+    input_seed: u64,
+    cfg: &FuzzConfig,
+) -> (Vec<MapperRun>, Vec<Violation>) {
+    let mii = dfg.mii(cgra);
+    let max_ii = mii.map_or(1, |m| m + cfg.extra_ii);
+    let limits = MapLimits::fast()
+        .with_seed(mapper_seed)
+        .with_ii_time_budget(Duration::from_millis(cfg.budget_ms))
+        .with_max_ii(max_ii);
+    let runs: Vec<MapperRun> = differential_mappers()
+        .iter()
+        .map(|m| MapperRun {
+            name: m.name().to_string(),
+            outcome: m.map(dfg, cgra, &limits),
+        })
+        .collect();
+    let oracle_cfg = OracleConfig {
+        mii,
+        max_ii,
+        input_seed,
+        sim_iterations: cfg.sim_iterations,
+        // The workspace's exhaustive mapper routes greedily, so its
+        // failures are not proofs: keep `exhaustive_complete` off and run
+        // only the always-sound early-bail sub-check on real scenarios.
+        cross_mapper: CrossMapperPolicy {
+            exhaustive_complete: false,
+            exhaustive_search_cap: Some(EXHAUSTIVE_SEARCH_CAP),
+        },
+    };
+    let violations = run_oracle(dfg, cgra, &runs, &oracle_cfg);
+    (runs, violations)
+}
+
+/// Everything one seed produced.
+#[derive(Clone, Debug)]
+pub struct SeedReport {
+    /// The seed.
+    pub seed: u64,
+    /// Stable scenario summary.
+    pub summary: String,
+    /// Per-mapper stable outcome lines (no wall-clock content).
+    pub outcomes: Vec<String>,
+    /// Oracle violations on the *original* scenario.
+    pub violations: Vec<Violation>,
+    /// Shrink result, when violations occurred.
+    pub shrink: Option<ShrinkResult>,
+    /// The minimal reproducer artifact, when violations occurred.
+    pub artifact: Option<Artifact>,
+}
+
+impl SeedReport {
+    /// Whether the seed passed the whole stack.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Deterministic multi-line rendering (what the determinism test
+    /// compares byte for byte): scenario, outcomes, violations, shrink
+    /// trace — never timing.
+    pub fn render(&self) -> String {
+        let mut s = format!("seed {}: {}\n", self.seed, self.summary);
+        for o in &self.outcomes {
+            s.push_str("  ");
+            s.push_str(o);
+            s.push('\n');
+        }
+        for v in &self.violations {
+            s.push_str(&format!("  VIOLATION {v}\n"));
+        }
+        if let Some(sh) = &self.shrink {
+            s.push_str(&crate::shrink::render_trace(sh));
+        }
+        s
+    }
+}
+
+/// Stable one-line description of a mapper outcome (deliberately excludes
+/// elapsed time, the only nondeterministic field).
+fn outcome_line(run: &MapperRun) -> String {
+    let st = &run.outcome.stats;
+    match st.achieved_ii {
+        Some(ii) => format!(
+            "{}: II {ii} (MII {}) after {} IIs, {} iterations",
+            run.name, st.mii, st.iis_explored, st.remap_iterations
+        ),
+        None => format!(
+            "{}: failed (MII {}) after {} IIs, {} iterations",
+            run.name, st.mii, st.iis_explored, st.remap_iterations
+        ),
+    }
+}
+
+/// Fuzzes one seed end to end. Records metrics under the `fuzz` scope of
+/// the global registry (`fuzz.scenarios`, `fuzz.violations`,
+/// `fuzz.checks.<kind>`, `fuzz.shrink_steps`, plus scenario-shape
+/// histograms).
+pub fn fuzz_one(seed: u64, cfg: &FuzzConfig) -> SeedReport {
+    let _scope = obs::scope("fuzz");
+    let scenario = Scenario::generate(seed);
+    obs::counter("fuzz.scenarios").add(1);
+    obs::histogram("fuzz.dfg_nodes").record(scenario.dfg.num_nodes() as u64);
+    obs::histogram("fuzz.fabric_pes").record(scenario.cgra.num_pes() as u64);
+
+    let (runs, violations) = evaluate(
+        &scenario.dfg,
+        &scenario.cgra,
+        scenario.mapper_seed(),
+        scenario.input_seed(),
+        cfg,
+    );
+    for r in &runs {
+        if r.outcome.stats.success() {
+            obs::counter("fuzz.mapped").add(1);
+        } else {
+            obs::counter("fuzz.gave_up").add(1);
+        }
+    }
+    for kind in CheckKind::all() {
+        let fired = violations.iter().filter(|v| v.check == kind).count() as u64;
+        obs::counter(&format!("fuzz.checks.{kind}")).add(fired);
+    }
+
+    let (shrink_result, artifact) = if violations.is_empty() {
+        (None, None)
+    } else {
+        obs::counter("fuzz.violations").add(violations.len() as u64);
+        let mut still_fails = |d: &Dfg, s: &CgraSpec| {
+            let cgra = s.build().expect("shrink candidates build");
+            let (_, vs) = evaluate(d, &cgra, scenario.mapper_seed(), scenario.input_seed(), cfg);
+            !vs.is_empty()
+        };
+        let result = shrink(
+            &scenario.dfg,
+            &scenario.spec,
+            &mut still_fails,
+            cfg.shrink_budget,
+        );
+        obs::counter("fuzz.shrink_steps").add(result.steps.len() as u64);
+        // Re-derive the violation on the minimal scenario for the note.
+        let min_cgra = result.spec.build().expect("minimal spec builds");
+        let (_, min_violations) = evaluate(
+            &result.dfg,
+            &min_cgra,
+            scenario.mapper_seed(),
+            scenario.input_seed(),
+            cfg,
+        );
+        let lead = min_violations.first().unwrap_or(&violations[0]).clone();
+        let max_ii = result.dfg.mii(&min_cgra).map_or(1, |m| m + cfg.extra_ii);
+        let artifact = Artifact {
+            seed,
+            spec: result.spec.clone(),
+            max_ii,
+            expect: Expectation::Fail(lead.check),
+            note: lead.to_string(),
+            shrink_steps: result.steps.len() as u32,
+            dfg: result.dfg.clone(),
+        };
+        (Some(result), Some(artifact))
+    };
+
+    SeedReport {
+        seed,
+        summary: scenario.summary(),
+        outcomes: runs.iter().map(outcome_line).collect(),
+        violations,
+        shrink: shrink_result,
+        artifact,
+    }
+}
+
+/// Fuzzes a seed range with `jobs` worker threads (reusing the bench
+/// harness fan-out; reports come back in seed order regardless of
+/// scheduling).
+pub fn fuzz_range(seeds: std::ops::Range<u64>, cfg: &FuzzConfig, jobs: usize) -> Vec<SeedReport> {
+    let seeds: Vec<u64> = seeds.collect();
+    parallel_map(&seeds, jobs, |&seed| fuzz_one(seed, cfg))
+}
+
+/// Replays a persisted artifact: rebuilds the scenario it embeds, runs
+/// the whole stack, and checks the observation against the artifact's
+/// expectation. Returns an error message on mismatch.
+///
+/// # Errors
+///
+/// `Err(reason)` when an `expect pass` artifact produces any violation,
+/// or an `expect fail <check>` artifact no longer reproduces one of the
+/// named check.
+pub fn replay(artifact: &Artifact, cfg: &FuzzConfig) -> Result<Vec<Violation>, String> {
+    let cgra = artifact
+        .spec
+        .build()
+        .map_err(|e| format!("artifact fabric does not build: {e}"))?;
+    let scenario = Scenario::from_parts(artifact.seed, artifact.dfg.clone(), artifact.spec.clone());
+    let mut replay_cfg = *cfg;
+    // The artifact pins its own sweep depth.
+    replay_cfg.extra_ii = artifact
+        .max_ii
+        .saturating_sub(artifact.dfg.mii(&cgra).unwrap_or(artifact.max_ii));
+    let (_, violations) = evaluate(
+        &artifact.dfg,
+        &cgra,
+        scenario.mapper_seed(),
+        scenario.input_seed(),
+        &replay_cfg,
+    );
+    match artifact.expect {
+        Expectation::Pass => {
+            if violations.is_empty() {
+                Ok(violations)
+            } else {
+                Err(format!(
+                    "expected a clean replay but got {} violation(s): {}",
+                    violations.len(),
+                    violations[0]
+                ))
+            }
+        }
+        Expectation::Fail(check) => {
+            if violations.iter().any(|v| v.check == check) {
+                Ok(violations)
+            } else {
+                Err(format!(
+                    "expected a {check} violation but the replay produced {}",
+                    if violations.is_empty() {
+                        "none".to_string()
+                    } else {
+                        format!("only: {}", violations[0])
+                    }
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> FuzzConfig {
+        FuzzConfig {
+            budget_ms: 10_000, // caps bind, never the clock
+            extra_ii: 2,
+            sim_iterations: 6,
+            shrink_budget: 60,
+        }
+    }
+
+    #[test]
+    fn a_few_seeds_run_clean() {
+        for seed in 0..4 {
+            let r = fuzz_one(seed, &quick());
+            assert!(r.clean(), "seed {seed}:\n{}", r.render());
+            assert_eq!(r.outcomes.len(), 4, "all four mappers ran");
+            assert!(r.shrink.is_none());
+            assert!(r.artifact.is_none());
+        }
+    }
+
+    #[test]
+    fn reports_render_deterministically() {
+        let a = fuzz_one(11, &quick());
+        let b = fuzz_one(11, &quick());
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn range_matches_individual_runs_regardless_of_jobs() {
+        let cfg = quick();
+        let serial = fuzz_range(0..6, &cfg, 1);
+        let parallel = fuzz_range(0..6, &cfg, 3);
+        assert_eq!(serial.len(), 6);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.render(), p.render());
+        }
+    }
+
+    #[test]
+    fn replay_round_trips_a_clean_scenario_as_artifact() {
+        let cfg = quick();
+        let scenario = Scenario::generate(2);
+        let mii = scenario.dfg.mii(&scenario.cgra);
+        let artifact = Artifact {
+            seed: 2,
+            spec: scenario.spec.clone(),
+            max_ii: mii.map_or(1, |m| m + cfg.extra_ii),
+            expect: Expectation::Pass,
+            note: "round-trip test".into(),
+            shrink_steps: 0,
+            dfg: scenario.dfg.clone(),
+        };
+        let parsed = Artifact::from_text(&artifact.to_text()).unwrap();
+        replay(&parsed, &cfg).expect("clean scenario replays clean");
+    }
+
+    #[test]
+    fn replay_flags_a_wrong_expectation() {
+        let cfg = quick();
+        let scenario = Scenario::generate(2);
+        let artifact = Artifact {
+            seed: 2,
+            spec: scenario.spec.clone(),
+            max_ii: 4,
+            expect: Expectation::Fail(CheckKind::Semantic),
+            note: String::new(),
+            shrink_steps: 0,
+            dfg: scenario.dfg.clone(),
+        };
+        let err = replay(&artifact, &cfg).unwrap_err();
+        assert!(err.contains("expected a semantic violation"), "{err}");
+    }
+}

@@ -1,0 +1,299 @@
+//! Greedy scenario shrinking: reduce a failing (DFG, fabric) pair to a
+//! minimal reproducer while the oracle keeps failing.
+//!
+//! The shrinker is mapper-agnostic — it only needs a predicate "does this
+//! candidate still fail?". Reductions are tried in a fixed, deterministic
+//! order (drop node, drop edge, reduce carry distance, shrink fabric) and
+//! the first accepted candidate restarts the pass, so the same failing
+//! scenario always shrinks along the same trace — a property the corpus
+//! replay test pins.
+
+use rewire_arch::random::CgraSpec;
+use rewire_dfg::{Dfg, EdgeId};
+
+/// Outcome of a shrink run.
+#[derive(Clone, Debug)]
+pub struct ShrinkResult {
+    /// The minimal still-failing DFG.
+    pub dfg: Dfg,
+    /// The minimal still-failing fabric.
+    pub spec: CgraSpec,
+    /// Accepted reductions, in order — the shrink trace.
+    pub steps: Vec<String>,
+    /// Candidate evaluations spent (accepted + rejected).
+    pub evaluations: u32,
+}
+
+/// Budgeted greedy shrink. `still_fails` must return `true` while the
+/// failure reproduces; the final result is the smallest candidate for
+/// which it did. `max_evaluations` bounds total predicate calls (each one
+/// typically re-runs every mapper), keeping worst-case shrink time linear
+/// in the budget.
+///
+/// The input scenario itself is assumed failing (the caller observed the
+/// violation); it is returned unchanged if nothing smaller still fails.
+pub fn shrink(
+    dfg: &Dfg,
+    spec: &CgraSpec,
+    still_fails: &mut dyn FnMut(&Dfg, &CgraSpec) -> bool,
+    max_evaluations: u32,
+) -> ShrinkResult {
+    let mut cur_dfg = dfg.clone();
+    let mut cur_spec = spec.clone();
+    let mut steps = Vec::new();
+    let mut evaluations = 0u32;
+
+    let mut try_candidate = |cand_dfg: &Dfg, cand_spec: &CgraSpec, evaluations: &mut u32| -> bool {
+        if *evaluations >= max_evaluations {
+            return false;
+        }
+        if cand_dfg.num_nodes() == 0 || cand_dfg.validate().is_err() || cand_spec.build().is_err() {
+            return false;
+        }
+        *evaluations += 1;
+        still_fails(cand_dfg, cand_spec)
+    };
+
+    // Fixpoint: keep sweeping all four reduction families until a whole
+    // round accepts nothing (or the budget runs out).
+    loop {
+        let mut progressed = false;
+
+        // 1. Drop nodes, ascending id; restart the scan on every
+        //    acceptance (ids shift after a rebuild).
+        'nodes: loop {
+            for v in cur_dfg.node_ids() {
+                let cand = cur_dfg.without_node(v);
+                if try_candidate(&cand, &cur_spec, &mut evaluations) {
+                    steps.push(format!("drop node {}", cur_dfg.node(v).name()));
+                    cur_dfg = cand;
+                    progressed = true;
+                    continue 'nodes;
+                }
+            }
+            break;
+        }
+
+        // 2. Drop edges, ascending id.
+        'edges: loop {
+            for e in 0..cur_dfg.num_edges() {
+                let id = EdgeId::new(e as u32);
+                let cand = cur_dfg.without_edge(id);
+                if try_candidate(&cand, &cur_spec, &mut evaluations) {
+                    let edge = cur_dfg.edge(id);
+                    steps.push(format!(
+                        "drop edge {}->{} d{}",
+                        cur_dfg.node(edge.src()).name(),
+                        cur_dfg.node(edge.dst()).name(),
+                        edge.distance()
+                    ));
+                    cur_dfg = cand;
+                    progressed = true;
+                    continue 'edges;
+                }
+            }
+            break;
+        }
+
+        // 3. Reduce carry distances toward 1 (try the floor first, then a
+        //    single decrement).
+        for e in 0..cur_dfg.num_edges() {
+            let id = EdgeId::new(e as u32);
+            let d = cur_dfg.edge(id).distance();
+            if d <= 1 {
+                continue;
+            }
+            for target in [1, d - 1] {
+                if target >= d {
+                    continue;
+                }
+                let cand = cur_dfg.with_edge_distance(id, target);
+                if try_candidate(&cand, &cur_spec, &mut evaluations) {
+                    steps.push(format!("reduce distance of edge {e} from {d} to {target}"));
+                    cur_dfg = cand;
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+
+        // 4. Shrink the fabric.
+        for (desc, cand_spec) in fabric_candidates(&cur_spec) {
+            if try_candidate(&cur_dfg, &cand_spec, &mut evaluations) {
+                steps.push(format!("fabric: {desc} ({cur_spec} -> {cand_spec})"));
+                cur_spec = cand_spec;
+                progressed = true;
+            }
+        }
+
+        if !progressed || evaluations >= max_evaluations {
+            break;
+        }
+    }
+
+    ShrinkResult {
+        dfg: cur_dfg,
+        spec: cur_spec,
+        steps,
+        evaluations,
+    }
+}
+
+/// Single-step fabric reductions, in deterministic order. Every candidate
+/// satisfies the builder invariants (memory columns clamped to the new
+/// width; banks dropped with the last column).
+fn fabric_candidates(spec: &CgraSpec) -> Vec<(&'static str, CgraSpec)> {
+    let mut out = Vec::new();
+    if spec.diagonals {
+        let mut s = spec.clone();
+        s.diagonals = false;
+        out.push(("drop diagonals", s));
+    }
+    if spec.torus {
+        let mut s = spec.clone();
+        s.torus = false;
+        out.push(("drop torus", s));
+    }
+    if spec.rows > 1 {
+        let mut s = spec.clone();
+        s.rows -= 1;
+        out.push(("drop a row", s));
+    }
+    if spec.cols > 1 {
+        let mut s = spec.clone();
+        s.cols -= 1;
+        s.memory_columns.retain(|&c| c < s.cols);
+        if s.memory_columns.is_empty() {
+            s.memory_banks = 0;
+        }
+        out.push(("drop a column", s));
+    }
+    if spec.regs_per_pe > 1 {
+        let mut s = spec.clone();
+        s.regs_per_pe -= 1;
+        out.push(("drop a register", s));
+    }
+    if spec.memory_banks > 0 {
+        let mut s = spec.clone();
+        s.memory_banks = 0;
+        s.memory_columns.clear();
+        out.push(("drop memory", s));
+    }
+    out
+}
+
+/// Convenience: the shrink trace as one printable block.
+pub fn render_trace(result: &ShrinkResult) -> String {
+    let mut s = format!(
+        "shrunk to {} nodes / {} edges on {} in {} evaluations\n",
+        result.dfg.num_nodes(),
+        result.dfg.num_edges(),
+        result.spec,
+        result.evaluations
+    );
+    for step in &result.steps {
+        s.push_str("  - ");
+        s.push_str(step);
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use rewire_arch::OpKind;
+
+    fn has_mul(dfg: &Dfg) -> bool {
+        dfg.nodes().any(|n| n.op() == OpKind::Mul)
+    }
+
+    #[test]
+    fn shrinks_to_the_failing_core() {
+        // Predicate: "fails whenever the DFG contains a Mul". The minimal
+        // reproducer is a single Mul node on the smallest fabric.
+        let s = Scenario::generate(3);
+        let mut dfg = s.dfg.clone();
+        // Ensure at least one Mul exists regardless of the seed's draw.
+        dfg.add_node("the_mul", OpKind::Mul);
+        let mut pred = |d: &Dfg, _: &CgraSpec| has_mul(d);
+        assert!(pred(&dfg, &s.spec), "scenario must start failing");
+        let r = shrink(&dfg, &s.spec, &mut pred, 10_000);
+        assert_eq!(r.num_mul(), 1, "exactly the failing core survives");
+        assert_eq!(r.dfg.num_nodes(), 1);
+        assert_eq!(r.dfg.num_edges(), 0);
+        assert_eq!((r.spec.rows, r.spec.cols), (1, 1));
+        assert_eq!(r.spec.regs_per_pe, 1);
+        assert!(!r.steps.is_empty());
+    }
+
+    impl ShrinkResult {
+        fn num_mul(&self) -> usize {
+            self.dfg.nodes().filter(|n| n.op() == OpKind::Mul).count()
+        }
+    }
+
+    #[test]
+    fn shrink_trace_is_deterministic() {
+        let s = Scenario::generate(9);
+        let mut dfg = s.dfg.clone();
+        dfg.add_node("the_mul", OpKind::Mul);
+        let run = || {
+            let mut pred = |d: &Dfg, _: &CgraSpec| has_mul(d);
+            shrink(&dfg, &s.spec, &mut pred, 10_000)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.dfg.to_text(), b.dfg.to_text());
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn evaluation_budget_is_respected() {
+        let s = Scenario::generate(3);
+        let mut calls = 0u32;
+        let mut pred = |_: &Dfg, _: &CgraSpec| {
+            calls += 1;
+            true // everything "fails": worst case for the budget
+        };
+        let r = shrink(&s.dfg, &s.spec, &mut pred, 25);
+        assert!(r.evaluations <= 25);
+        assert_eq!(r.evaluations, calls);
+    }
+
+    #[test]
+    fn nothing_smaller_fails_returns_input() {
+        let s = Scenario::generate(5);
+        let original = s.dfg.to_text();
+        let mut pred = |_: &Dfg, _: &CgraSpec| false; // only the input fails
+        let r = shrink(&s.dfg, &s.spec, &mut pred, 10_000);
+        assert_eq!(r.dfg.to_text(), original);
+        assert_eq!(&r.spec, &s.spec);
+        assert!(r.steps.is_empty());
+    }
+
+    #[test]
+    fn fabric_candidates_all_build() {
+        for seed in 0..32 {
+            let s = Scenario::generate(seed);
+            for (desc, cand) in fabric_candidates(&s.spec) {
+                assert!(cand.build().is_ok(), "seed {seed}: {desc} -> {cand}");
+            }
+        }
+    }
+
+    #[test]
+    fn render_trace_lists_steps() {
+        let s = Scenario::generate(3);
+        let mut dfg = s.dfg.clone();
+        dfg.add_node("the_mul", OpKind::Mul);
+        let mut pred = |d: &Dfg, _: &CgraSpec| has_mul(d);
+        let r = shrink(&dfg, &s.spec, &mut pred, 10_000);
+        let t = render_trace(&r);
+        assert!(t.contains("shrunk to 1 nodes"));
+        assert!(t.contains("drop node"));
+    }
+}

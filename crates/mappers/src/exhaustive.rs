@@ -23,11 +23,15 @@ use std::time::Instant;
 #[derive(Clone, Debug)]
 pub struct ExhaustiveMapper {
     max_nodes: usize,
+    max_search_nodes: u64,
 }
 
 impl Default for ExhaustiveMapper {
     fn default() -> Self {
-        Self { max_nodes: 12 }
+        Self {
+            max_nodes: 12,
+            max_search_nodes: u64::MAX,
+        }
     }
 }
 
@@ -39,7 +43,21 @@ impl ExhaustiveMapper {
 
     /// Overrides the node limit (be careful: the search is exponential).
     pub fn with_max_nodes(max_nodes: usize) -> Self {
-        Self { max_nodes }
+        Self {
+            max_nodes,
+            ..Self::default()
+        }
+    }
+
+    /// Caps the branch-and-bound at `max_search_nodes` search-tree nodes
+    /// per II. Unlike the wall-clock deadline, the cap truncates the
+    /// search *deterministically* — the same instance always explores the
+    /// same prefix of the tree — which is what replay-exact harnesses
+    /// (the differential fuzzer) need. A truncated II is reported as
+    /// failed, so optimality claims weaken to "best within the cap".
+    pub fn with_max_search_nodes(mut self, max_search_nodes: u64) -> Self {
+        self.max_search_nodes = max_search_nodes;
+        self
     }
 
     fn try_ii(
@@ -48,7 +66,7 @@ impl ExhaustiveMapper {
         cgra: &rewire_arch::Cgra,
         ii: u32,
         deadline: Instant,
-    ) -> Option<Mapping> {
+    ) -> (Option<Mapping>, u64) {
         let mrrg = Mrrg::new(cgra, ii);
         let router = Router::new(cgra, &mrrg);
         let mut mapping = Mapping::new(dfg, &mrrg);
@@ -71,7 +89,7 @@ impl ExhaustiveMapper {
             &nodes,
         );
         obs::counter("exhaustive.search_nodes").add(nodes.get());
-        ok.then_some(mapping)
+        (ok.then_some(mapping), nodes.get())
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -91,7 +109,7 @@ impl ExhaustiveMapper {
         if depth == order.len() {
             return mapping.is_complete(dfg);
         }
-        if Instant::now() >= deadline {
+        if nodes.get() >= self.max_search_nodes || Instant::now() >= deadline {
             return false;
         }
         let v = order[depth];
@@ -177,9 +195,13 @@ impl IiAttempt for ExhaustiveAttempt<'_> {
         ctx: &AttemptCtx<'_>,
         _events: &mut Emitter<'_>,
     ) -> AttemptOutcome {
+        // Search-tree nodes are reported as the attempt's iteration count,
+        // so `remap_iterations` reveals (to oracles comparing against this
+        // mapper) whether a deterministic search-node cap could have
+        // truncated any II of the sweep.
         match self.mapper.try_ii(dfg, cgra, ctx.ii, ctx.deadline) {
-            Some(m) => AttemptOutcome::mapped(m, 0),
-            None => AttemptOutcome::failed(0, 0),
+            (Some(m), nodes) => AttemptOutcome::mapped(m, nodes),
+            (None, nodes) => AttemptOutcome::failed(nodes, 0),
         }
     }
 }

@@ -66,6 +66,18 @@ impl Route {
         }
     }
 
+    /// Assembles a route from raw parts, without any routing.
+    ///
+    /// The router is the only producer of *correct* routes; this
+    /// constructor exists for failure injection — building deliberately
+    /// wrong paths (a mis-slotted cell, a register held across the modulo
+    /// wrap) to prove that the simulator and the fuzz oracle catch what
+    /// structural validation alone cannot. Production mapping code must
+    /// never call it.
+    pub fn from_parts(request: RouteRequest, resources: Vec<Resource>, cost: f64) -> Self {
+        Self::new(request, resources, cost)
+    }
+
     /// The request this route satisfies.
     pub fn request(&self) -> &RouteRequest {
         &self.request
@@ -185,6 +197,18 @@ mod tests {
         assert_eq!(r.reg_cycles(), 1);
         assert_eq!(r.cost(), 2.0);
         assert!(format!("{r}").contains("REG"));
+    }
+
+    #[test]
+    fn from_parts_is_equivalent_to_new() {
+        let cells = vec![Resource::Link {
+            link: LinkId::new(3),
+            slot: 1,
+        }];
+        assert_eq!(
+            Route::from_parts(req(), cells.clone(), 1.0),
+            Route::new(req(), cells, 1.0)
+        );
     }
 
     #[test]

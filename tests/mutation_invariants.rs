@@ -1,0 +1,138 @@
+//! Property-based mutation tests: take a *real* mapper-produced mapping,
+//! corrupt it the way a buggy mapper would, and assert structural
+//! validation rejects every corruption with the right issue.
+//!
+//! This pins the discriminating power of `Mapping::validate` — the first
+//! layer of the fuzz oracle stack. (Slot-level route corruption is
+//! invisible to structural validation by design; the semantic layer
+//! catches it, see `crates/fuzz/src/oracle.rs` and
+//! `crates/sim/tests/edge_cases.rs`.)
+
+use proptest::prelude::*;
+use rewire::dfg::generate::{random_dfg, RandomDfgParams};
+use rewire::dfg::EdgeId;
+use rewire::mappers::MappingIssue;
+use rewire::prelude::*;
+use std::time::Duration;
+
+/// A mapper-produced mapping to mutate, or `None` when the instance is
+/// unmappable under the small budget (the property then holds vacuously).
+fn mapped(seed: u64, nodes: usize, mem: f64) -> Option<(Dfg, Cgra, Mapping)> {
+    let dfg = random_dfg(
+        &RandomDfgParams {
+            nodes,
+            memory_fraction: mem,
+            ..Default::default()
+        },
+        seed,
+    );
+    let cgra = presets::paper_4x4_r4();
+    let limits = MapLimits::fast().with_ii_time_budget(Duration::from_millis(400));
+    let m = PathFinderMapper::new().map(&dfg, &cgra, &limits).mapping?;
+    assert!(m.is_valid(&dfg, &cgra));
+    Some((dfg, cgra, m))
+}
+
+fn pick_node(dfg: &Dfg, pick: usize) -> NodeId {
+    dfg.node_ids().nth(pick % dfg.num_nodes()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Unplacing any node is rejected as `NodeUnplaced` (plus unrouted
+    /// edges for everything that hung off it).
+    #[test]
+    fn validation_rejects_an_unplaced_node(seed in 0u64..5000, pick in 0usize..64) {
+        let Some((dfg, cgra, mut m)) = mapped(seed, 10, 0.1) else { return Ok(()) };
+        let victim = pick_node(&dfg, pick);
+        m.unplace(&dfg, victim);
+        let issues = m.validate(&dfg, &cgra).expect_err("corruption must be rejected");
+        prop_assert!(
+            issues.iter().any(|i| matches!(i, MappingIssue::NodeUnplaced(n) if *n == victim)),
+            "{issues:?}"
+        );
+    }
+
+    /// Clearing any committed route is rejected as `EdgeUnrouted`.
+    #[test]
+    fn validation_rejects_a_cleared_route(seed in 0u64..5000, pick in 0usize..64) {
+        let Some((dfg, cgra, mut m)) = mapped(seed, 10, 0.1) else { return Ok(()) };
+        let victim = EdgeId::new((pick % dfg.num_edges()) as u32);
+        m.clear_route(victim);
+        let issues = m.validate(&dfg, &cgra).expect_err("corruption must be rejected");
+        prop_assert!(
+            issues.iter().any(|i| matches!(i, MappingIssue::EdgeUnrouted(e) if *e == victim)),
+            "{issues:?}"
+        );
+    }
+
+    /// Swapping the routes of two edges with different requests leaves
+    /// both stale — rejected as `RouteMismatch` on each.
+    #[test]
+    fn validation_rejects_swapped_routes(seed in 0u64..5000, pick in 0usize..64) {
+        let Some((dfg, cgra, mut m)) = mapped(seed, 10, 0.1) else { return Ok(()) };
+        let n = dfg.num_edges();
+        let a = EdgeId::new((pick % n) as u32);
+        let b = EdgeId::new(((pick + 1) % n) as u32);
+        let (ra, rb) = (m.route(a).unwrap().clone(), m.route(b).unwrap().clone());
+        if a == b || ra.request() == rb.request() {
+            return Ok(()); // parallel twins: the swap is a no-op
+        }
+        m.clear_route(a);
+        m.clear_route(b);
+        m.set_route(a, rb);
+        m.set_route(b, ra);
+        let issues = m.validate(&dfg, &cgra).expect_err("corruption must be rejected");
+        for e in [a, b] {
+            prop_assert!(
+                issues.iter().any(|i| matches!(i, MappingIssue::RouteMismatch(x) if *x == e)),
+                "edge {e}: {issues:?}"
+            );
+        }
+    }
+
+    /// Stacking one node on top of another claims the same FU cell twice
+    /// — rejected as `Overuse`.
+    #[test]
+    fn validation_rejects_a_conflicting_placement(seed in 0u64..5000, pick in 0usize..64) {
+        let Some((dfg, cgra, mut m)) = mapped(seed, 10, 0.0) else { return Ok(()) };
+        let victim = pick_node(&dfg, pick);
+        let other = pick_node(&dfg, pick + 1);
+        if victim == other {
+            return Ok(());
+        }
+        let (pe, time) = m.placement(other).unwrap();
+        m.unplace(&dfg, victim);
+        m.place(victim, pe, time);
+        let issues = m.validate(&dfg, &cgra).expect_err("corruption must be rejected");
+        prop_assert!(
+            issues.iter().any(|i| matches!(i, MappingIssue::Overuse { amount } if *amount > 0)),
+            "{issues:?}"
+        );
+    }
+
+    /// Moving a memory operation onto a PE without memory access is
+    /// rejected as `UnsupportedPe`.
+    #[test]
+    fn validation_rejects_a_memory_op_off_the_memory_column(seed in 0u64..5000) {
+        let Some((dfg, cgra, mut m)) = mapped(seed, 10, 0.3) else { return Ok(()) };
+        let Some(load) = dfg.nodes().find(|n| n.op().is_memory()).map(|n| n.id()) else {
+            return Ok(()); // no memory op drawn this time
+        };
+        let Some(plain) = cgra.pes().find(|p| !p.supports(OpKind::Load)).map(|p| p.id()) else {
+            return Ok(());
+        };
+        let (_, time) = m.placement(load).unwrap();
+        m.unplace(&dfg, load);
+        m.place(load, plain, time);
+        let issues = m.validate(&dfg, &cgra).expect_err("corruption must be rejected");
+        prop_assert!(
+            issues.iter().any(|i| matches!(
+                i,
+                MappingIssue::UnsupportedPe { node, pe } if *node == load && *pe == plain
+            )),
+            "{issues:?}"
+        );
+    }
+}
