@@ -37,6 +37,7 @@ pub struct CgraBuilder {
     memory_columns: Vec<u16>,
     torus: bool,
     diagonals: bool,
+    cut_row: Option<u16>,
 }
 
 impl CgraBuilder {
@@ -50,6 +51,7 @@ impl CgraBuilder {
             memory_columns: Vec::new(),
             torus: false,
             diagonals: false,
+            cut_row: None,
         }
     }
 
@@ -85,6 +87,16 @@ impl CgraBuilder {
         self
     }
 
+    /// Severs every link crossing the horizontal boundary above `row`
+    /// (including torus wraps and diagonals), splitting the fabric into two
+    /// disconnected islands: rows `0..row` and rows `row..rows`. Used by
+    /// tests and the fuzzer to exercise `NoPath` behaviour on fabrics where
+    /// some PE pairs are genuinely unreachable.
+    pub fn cut_row(mut self, row: u16) -> Self {
+        self.cut_row = Some(row);
+        self
+    }
+
     /// Builds the architecture.
     ///
     /// # Errors
@@ -106,6 +118,14 @@ impl CgraBuilder {
         if (self.memory_banks == 0) != self.memory_columns.is_empty() {
             return Err(BuildCgraError::InconsistentMemory);
         }
+        if let Some(cut) = self.cut_row {
+            if cut == 0 || cut >= self.rows {
+                return Err(BuildCgraError::CutRowOutOfRange {
+                    row: cut,
+                    rows: self.rows,
+                });
+            }
+        }
 
         let mut pes = Vec::with_capacity(self.rows as usize * self.cols as usize);
         for row in 0..self.rows {
@@ -118,10 +138,22 @@ impl CgraBuilder {
 
         let mut links = Vec::new();
         let pe_id = |row: u16, col: u16| PeId::new(row as u32 * self.cols as u32 + col as u32);
+        // A link survives a row cut only if both endpoints sit on the same
+        // side of the boundary.
+        let same_island = |a: PeId, b: PeId| match self.cut_row {
+            Some(cut) => {
+                let row_of = |p: PeId| (p.index() as u32 / self.cols as u32) as u16;
+                (row_of(a) < cut) == (row_of(b) < cut)
+            }
+            None => true,
+        };
         for row in 0..self.rows {
             for col in 0..self.cols {
                 let src = pe_id(row, col);
                 let mut push = |dst: PeId, dir: Direction| {
+                    if !same_island(src, dst) {
+                        return;
+                    }
                     let id = LinkId::new(links.len() as u32);
                     links.push(Link::new(id, src, dst, dir));
                 };
@@ -244,6 +276,32 @@ mod tests {
                 .unwrap_err(),
             BuildCgraError::InconsistentMemory
         );
+    }
+
+    #[test]
+    fn cut_row_disconnects_the_fabric() {
+        let cgra = CgraBuilder::new(4, 3)
+            .torus(true)
+            .cut_row(2)
+            .build()
+            .unwrap();
+        for link in cgra.links() {
+            let a = cgra.pe(link.src()).coord().row;
+            let b = cgra.pe(link.dst()).coord().row;
+            assert_eq!(a < 2, b < 2, "{link} crosses the cut");
+        }
+        // Each 2×3 torus island keeps its internal wrap links.
+        assert!(cgra.num_links() > 0);
+    }
+
+    #[test]
+    fn cut_row_must_split_the_grid() {
+        for bad in [0, 4, 9] {
+            assert_eq!(
+                CgraBuilder::new(4, 4).cut_row(bad).build().unwrap_err(),
+                BuildCgraError::CutRowOutOfRange { row: bad, rows: 4 }
+            );
+        }
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub struct Cgra {
     in_links: Vec<Vec<LinkId>>,
     /// Whether any diagonal links exist (changes the hop-distance metric).
     has_diagonals: bool,
+    /// Hash of the link topology (see [`Cgra::topology_fingerprint`]).
+    #[cfg_attr(feature = "serde", serde(default))]
+    topology_fingerprint: u64,
 }
 
 impl Cgra {
@@ -62,6 +65,18 @@ impl Cgra {
                     | crate::Direction::SouthWest
             )
         });
+        // FNV-1a over the directed link list: cheap, stable across runs,
+        // and sensitive to any topology difference that matters to routing.
+        let mut fp: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            fp ^= v;
+            fp = fp.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(pes.len() as u64);
+        for link in &links {
+            mix(link.src().index() as u64);
+            mix(link.dst().index() as u64);
+        }
         Self {
             rows,
             cols,
@@ -72,6 +87,7 @@ impl Cgra {
             out_links,
             in_links,
             has_diagonals,
+            topology_fingerprint: fp,
         }
     }
 
@@ -184,6 +200,14 @@ impl Cgra {
         self.has_diagonals
     }
 
+    /// A hash of the link topology (PE count plus every directed link's
+    /// endpoints). Two fabrics with equal fingerprints route identically,
+    /// so per-topology caches (e.g. the router's hop-distance table) use
+    /// this as their validity key instead of holding a fabric reference.
+    pub fn topology_fingerprint(&self) -> u64 {
+        self.topology_fingerprint
+    }
+
     /// A short human-readable architecture label, e.g. `4x4/r4`.
     pub fn label(&self) -> String {
         format!("{}x{}/r{}", self.rows, self.cols, self.regs_per_pe)
@@ -272,6 +296,29 @@ mod tests {
         let b = d.pe_at(Coord::new(2, 3)).unwrap().id();
         assert!(d.has_diagonals());
         assert_eq!(d.distance(a, b), 3, "Chebyshev on diagonal fabrics");
+    }
+
+    #[test]
+    fn topology_fingerprint_tracks_links() {
+        let a = cgra();
+        let b = cgra();
+        assert_eq!(a.topology_fingerprint(), b.topology_fingerprint());
+        // Same grid, different interconnect ⇒ different fingerprint.
+        let torus = CgraBuilder::new(3, 4)
+            .memory_banks(2)
+            .memory_columns([0])
+            .torus(true)
+            .build()
+            .unwrap();
+        assert_ne!(a.topology_fingerprint(), torus.topology_fingerprint());
+        // Attributes that do not change routing leave it untouched.
+        let more_regs = CgraBuilder::new(3, 4)
+            .regs_per_pe(1)
+            .memory_banks(2)
+            .memory_columns([0])
+            .build()
+            .unwrap();
+        assert_eq!(a.topology_fingerprint(), more_regs.topology_fingerprint());
     }
 
     #[test]

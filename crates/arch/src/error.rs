@@ -20,6 +20,14 @@ pub enum BuildCgraError {
     /// Memory operations can never be placed: banks exist but no column may
     /// access them, or columns are declared but there are zero banks.
     InconsistentMemory,
+    /// A cut row index does not split the grid: it must satisfy
+    /// `1 <= row < rows` so both halves are non-empty.
+    CutRowOutOfRange {
+        /// The offending cut row index.
+        row: u16,
+        /// Number of rows in the grid.
+        rows: u16,
+    },
 }
 
 impl fmt::Display for BuildCgraError {
@@ -33,6 +41,10 @@ impl fmt::Display for BuildCgraError {
             BuildCgraError::InconsistentMemory => {
                 f.write_str("memory banks and memory columns must both be present or both absent")
             }
+            BuildCgraError::CutRowOutOfRange { row, rows } => write!(
+                f,
+                "cut row {row} must lie strictly inside a grid with {rows} rows"
+            ),
         }
     }
 }
@@ -49,6 +61,7 @@ mod tests {
             BuildCgraError::EmptyGrid.to_string(),
             BuildCgraError::MemoryColumnOutOfRange { column: 9, cols: 4 }.to_string(),
             BuildCgraError::InconsistentMemory.to_string(),
+            BuildCgraError::CutRowOutOfRange { row: 1, rows: 3 }.to_string(),
         ];
         for m in msgs {
             assert!(!m.ends_with('.'), "{m}");

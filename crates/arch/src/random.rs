@@ -37,6 +37,9 @@ pub struct CgraSpec {
     pub torus: bool,
     /// Diagonal single-hop links.
     pub diagonals: bool,
+    /// Severed horizontal boundary (`Some(r)` disconnects rows `0..r` from
+    /// rows `r..rows`), for exercising unreachable-PE behaviour.
+    pub cut_row: Option<u16>,
 }
 
 impl CgraSpec {
@@ -48,13 +51,16 @@ impl CgraSpec {
     /// (empty grid, memory column out of range, banks without columns);
     /// specs from [`random_cgra_spec`] always build.
     pub fn build(&self) -> Result<Cgra, BuildCgraError> {
-        CgraBuilder::new(self.rows, self.cols)
+        let mut builder = CgraBuilder::new(self.rows, self.cols)
             .regs_per_pe(self.regs_per_pe)
             .memory_banks(self.memory_banks)
             .memory_columns(self.memory_columns.iter().copied())
             .torus(self.torus)
-            .diagonals(self.diagonals)
-            .build()
+            .diagonals(self.diagonals);
+        if let Some(cut) = self.cut_row {
+            builder = builder.cut_row(cut);
+        }
+        builder.build()
     }
 }
 
@@ -74,6 +80,9 @@ impl fmt::Display for CgraSpec {
         }
         if self.diagonals {
             f.write_str(" diag")?;
+        }
+        if let Some(cut) = self.cut_row {
+            write!(f, " cut={cut}")?;
         }
         Ok(())
     }
@@ -114,6 +123,7 @@ impl FromStr for CgraSpec {
             memory_columns: Vec::new(),
             torus: false,
             diagonals: false,
+            cut_row: None,
         };
         for tok in tokens {
             if let Some(v) = tok.strip_prefix("regs=") {
@@ -124,6 +134,8 @@ impl FromStr for CgraSpec {
                 for c in v.split(',') {
                     spec.memory_columns.push(parse_num("memcol", c)? as u16);
                 }
+            } else if let Some(v) = tok.strip_prefix("cut=") {
+                spec.cut_row = Some(parse_num("cut", v)? as u16);
             } else if tok == "torus" {
                 spec.torus = true;
             } else if tok == "diag" {
@@ -162,6 +174,10 @@ pub struct RandomCgraParams {
     pub torus_prob: f64,
     /// Probability of diagonal links.
     pub diagonal_prob: f64,
+    /// Probability of a severed row boundary (disconnected fabric). Zero by
+    /// default so existing seed streams are unchanged; only fabrics with at
+    /// least two rows can be cut.
+    pub cut_prob: f64,
 }
 
 impl Default for RandomCgraParams {
@@ -175,6 +191,7 @@ impl Default for RandomCgraParams {
             max_memory_columns: 2,
             torus_prob: 0.15,
             diagonal_prob: 0.15,
+            cut_prob: 0.0,
         }
     }
 }
@@ -223,14 +240,25 @@ pub fn random_cgra_spec(params: &RandomCgraParams, seed: u64) -> CgraSpec {
         (0, Vec::new())
     };
 
+    let torus = rng.random_bool(params.torus_prob);
+    let diagonals = rng.random_bool(params.diagonal_prob);
+    // Drawn after every pre-existing field so seeds from before the cut-row
+    // feature still produce byte-identical specs when `cut_prob` is 0.
+    let cut_row = if params.cut_prob > 0.0 && rows >= 2 && rng.random_bool(params.cut_prob) {
+        Some(rng.random_range(1..rows))
+    } else {
+        None
+    };
+
     CgraSpec {
         rows,
         cols,
         regs_per_pe,
         memory_banks,
         memory_columns,
-        torus: rng.random_bool(params.torus_prob),
-        diagonals: rng.random_bool(params.diagonal_prob),
+        torus,
+        diagonals,
+        cut_row,
     }
 }
 
@@ -288,6 +316,38 @@ mod tests {
     }
 
     #[test]
+    fn cut_fabrics_occur_and_build() {
+        let p = RandomCgraParams {
+            cut_prob: 0.5,
+            ..Default::default()
+        };
+        let mut cut = 0;
+        for seed in 0..64 {
+            let spec = random_cgra_spec(&p, seed);
+            let cgra = spec.build().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            if let Some(r) = spec.cut_row {
+                cut += 1;
+                assert!(r >= 1 && r < spec.rows, "seed {seed}");
+                assert!(cgra.num_pes() >= 4);
+            }
+        }
+        assert!(cut > 0, "no cut fabric in 64 seeds");
+        assert!(cut < 64, "every fabric cut in 64 seeds");
+    }
+
+    #[test]
+    fn zero_cut_prob_preserves_legacy_seed_stream() {
+        // The cut draw is appended after all pre-existing draws and skipped
+        // entirely at probability zero, so default-params specs match the
+        // pre-cut-row format byte for byte.
+        let p = RandomCgraParams::default();
+        for seed in 0..64 {
+            let spec = random_cgra_spec(&p, seed);
+            assert_eq!(spec.cut_row, None, "seed {seed}");
+        }
+    }
+
+    #[test]
     fn display_round_trips() {
         let p = RandomCgraParams::default();
         for seed in 0..64 {
@@ -307,9 +367,10 @@ mod tests {
             memory_columns: vec![0, 4],
             torus: true,
             diagonals: true,
+            cut_row: Some(2),
         };
         let s = spec.to_string();
-        assert_eq!(s, "3x5 regs=2 banks=2 memcols=0,4 torus diag");
+        assert_eq!(s, "3x5 regs=2 banks=2 memcols=0,4 torus diag cut=2");
         assert_eq!(s.parse::<CgraSpec>().unwrap(), spec);
     }
 
@@ -333,6 +394,7 @@ mod tests {
             memory_columns: vec![9],
             torus: false,
             diagonals: false,
+            cut_row: None,
         };
         assert!(matches!(
             spec.build(),

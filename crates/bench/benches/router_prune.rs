@@ -1,0 +1,90 @@
+//! Dense vs pruned router comparison: wall time for representative routes
+//! under both [`RouterMode`]s, plus a hard correctness gate on the
+//! expansion counters — the pruned sweep must never expand more states
+//! than the dense one it replaces. CI runs this bench, so a pruning
+//! regression (admissibility bug or frontier leak) fails the build even
+//! if no unit test happens to cover the offending shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rewire_arch::{presets, Cgra, Coord};
+use rewire_dfg::NodeId;
+use rewire_mrrg::{Mrrg, Occupancy, RouteRequest, Router, RouterMode, RouterScratch, UnitCost};
+use rewire_obs as obs;
+
+fn corner_route(cgra: &Cgra, slack: u32) -> RouteRequest {
+    let src = cgra.pe_at(Coord::new(0, 0)).unwrap().id();
+    let dst = cgra.pe_at(Coord::new(7, 7)).unwrap().id();
+    RouteRequest {
+        signal: NodeId::new(0),
+        src_pe: src,
+        depart_cycle: 1,
+        dst_pe: dst,
+        arrive_cycle: 1 + 14 + slack,
+    }
+}
+
+/// Counts `router.expansions` attributed to `scope` while running `f`.
+fn expansions_under(scope: &str, f: impl FnOnce()) -> u64 {
+    let before = scoped_expansions(scope);
+    {
+        let _scope = obs::scope(scope.to_string());
+        f();
+    }
+    scoped_expansions(scope) - before
+}
+
+fn scoped_expansions(scope: &str) -> u64 {
+    obs::metrics()
+        .snapshot()
+        .scopes
+        .get(scope)
+        .and_then(|s| s.counters.get("router.expansions").copied())
+        .unwrap_or(0)
+}
+
+fn bench_router_prune(c: &mut Criterion) {
+    let cgra = presets::paper_8x8_r4();
+    let mrrg = Mrrg::new(&cgra, 4);
+    let occ = Occupancy::new(&mrrg);
+
+    // Correctness gate first, outside the timed loops: identical routes,
+    // pruned expansions <= dense, on the long-haul corner route.
+    let dense = Router::with_mode(&cgra, &mrrg, RouterMode::Dense);
+    let pruned = Router::with_mode(&cgra, &mrrg, RouterMode::Pruned);
+    for slack in [0u32, 2, 6] {
+        let req = corner_route(&cgra, slack);
+        let mut route_d = None;
+        let mut route_p = None;
+        let d = expansions_under("bench/router_prune/dense", || {
+            route_d = Some(dense.route_with(&occ, &req, &UnitCost, &mut RouterScratch::new()));
+        });
+        let p = expansions_under("bench/router_prune/pruned", || {
+            route_p = Some(pruned.route_with(&occ, &req, &UnitCost, &mut RouterScratch::new()));
+        });
+        assert_eq!(route_d, route_p, "router modes diverged at slack {slack}");
+        assert!(
+            p <= d,
+            "pruned router expanded more states than dense at slack {slack}: {p} > {d}"
+        );
+        eprintln!("router_prune gate: slack {slack}: dense {d} -> pruned {p} expansions");
+    }
+
+    let mut group = c.benchmark_group("router_prune");
+    group.sample_size(50);
+    for (mode, label) in [(RouterMode::Dense, "dense"), (RouterMode::Pruned, "pruned")] {
+        let router = Router::with_mode(&cgra, &mrrg, mode);
+        let req = corner_route(&cgra, 2);
+        group.bench_function(format!("corner_slack_2/{label}"), |b| {
+            let mut scratch = RouterScratch::new();
+            b.iter(|| {
+                router
+                    .route_with(&occ, &req, &UnitCost, &mut scratch)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_router_prune);
+criterion_main!(benches);

@@ -302,6 +302,11 @@ pub struct BenchArgs {
     /// Kernel-name filter (`--kernels a,b,c`): restrict every workload to
     /// the named kernels. `None` runs the full suite.
     pub kernels: Option<Vec<String>>,
+    /// Router sweep mode (`--router dense|pruned`, default pruned). The
+    /// dense mode exists for A/B measurement of the reachability pruning —
+    /// outcomes are byte-identical by construction, only the expansion
+    /// counts differ.
+    pub router: rewire_mrrg::RouterMode,
 }
 
 impl BenchArgs {
@@ -390,9 +395,15 @@ impl BenchArgs {
 /// Parses the common experiment-binary CLI: an optional positional per-II
 /// budget in seconds plus optional `--jobs N` (or `--jobs=N`),
 /// `--trace FILE` (or `--trace=FILE`), `--metrics FILE` (or
-/// `--metrics=FILE`) and `--kernels a,b` (or `--kernels=a,b`) flags.
+/// `--metrics=FILE`), `--kernels a,b` (or `--kernels=a,b`) and
+/// `--router dense|pruned` (or `--router=MODE`) flags.
+///
+/// Installs the parsed router mode as the process default, so every
+/// mapper thread the experiment spawns inherits it.
 pub fn parse_cli(default_secs: f64) -> BenchArgs {
-    parse_cli_from(std::env::args().skip(1), default_secs)
+    let parsed = parse_cli_from(std::env::args().skip(1), default_secs);
+    rewire_mrrg::set_default_router_mode(parsed.router);
+    parsed
 }
 
 fn parse_cli_from(args: impl IntoIterator<Item = String>, default_secs: f64) -> BenchArgs {
@@ -402,6 +413,12 @@ fn parse_cli_from(args: impl IntoIterator<Item = String>, default_secs: f64) -> 
         trace: None,
         metrics: None,
         kernels: None,
+        router: rewire_mrrg::default_router_mode(),
+    };
+    let parse_router = |v: &str| match v {
+        "dense" => rewire_mrrg::RouterMode::Dense,
+        "pruned" => rewire_mrrg::RouterMode::Pruned,
+        other => panic!("--router needs `dense` or `pruned`, got {other:?}"),
     };
     let parse_kernels = |v: &str| {
         v.split(',')
@@ -433,11 +450,15 @@ fn parse_cli_from(args: impl IntoIterator<Item = String>, default_secs: f64) -> 
             ));
         } else if let Some(v) = arg.strip_prefix("--kernels=") {
             parsed.kernels = Some(parse_kernels(v));
+        } else if arg == "--router" {
+            parsed.router = parse_router(&args.next().expect("--router needs dense or pruned"));
+        } else if let Some(v) = arg.strip_prefix("--router=") {
+            parsed.router = parse_router(v);
         } else if let Ok(v) = arg.parse::<f64>() {
             parsed.seconds_per_ii = v;
         } else {
             panic!(
-                "unrecognised argument {arg:?} (expected [seconds_per_ii] [--jobs N] [--trace FILE] [--metrics FILE] [--kernels a,b])"
+                "unrecognised argument {arg:?} (expected [seconds_per_ii] [--jobs N] [--trace FILE] [--metrics FILE] [--kernels a,b] [--router dense|pruned])"
             );
         }
     }
@@ -566,6 +587,27 @@ mod tests {
             Some(vec!["fir".to_string(), "atax".to_string()]),
             "whitespace and empty segments are dropped"
         );
+    }
+
+    #[test]
+    fn cli_parsing_accepts_router_mode() {
+        use rewire_mrrg::RouterMode;
+        let arg = |s: &str| s.to_string();
+        assert_eq!(parse_cli_from([], 2.0).router, RouterMode::Pruned);
+        assert_eq!(
+            parse_cli_from([arg("--router"), arg("dense")], 2.0).router,
+            RouterMode::Dense
+        );
+        assert_eq!(
+            parse_cli_from([arg("--router=pruned")], 2.0).router,
+            RouterMode::Pruned
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "--router needs")]
+    fn cli_parsing_rejects_unknown_router_mode() {
+        parse_cli_from(["--router=fast".to_string()], 2.0);
     }
 
     #[test]

@@ -154,14 +154,21 @@ impl RewireMapper {
         // the serial path.
         let metric_scope = obs::current_scope();
         let parent_span = obs::current_span_path();
+        // Resolve (or build) this thread's hop-distance oracle once and
+        // hand the Arc to every worker: the workers' routers then prune
+        // from the shared table instead of re-running the all-pairs BFS
+        // on each fresh thread.
+        let distances = rewire_mrrg::thread_distance_table(cgra);
         let results: Vec<(Option<Mapping>, RewireStats)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..width)
                 .map(|rank| {
                     let metric_scope = metric_scope.clone();
                     let parent_span = parent_span.clone();
+                    let distances = std::sync::Arc::clone(&distances);
                     scope.spawn(move || {
                         let _scope = obs::scope(metric_scope);
                         let _span = obs::span_under(&parent_span, "worker");
+                        rewire_mrrg::install_thread_distance_table(distances);
                         let mut rng =
                             StdRng::seed_from_u64(worker_seed(limits.seed, ii, rank as u64));
                         let mut stats = RewireStats::default();

@@ -75,6 +75,9 @@ impl Scenario {
             max_memory_columns: 2,
             torus_prob: 0.15,
             diagonal_prob: 0.15,
+            // Stays 0.0: the checked-in corpus pins the seed -> spec
+            // correspondence, and a zero probability consumes no RNG draw.
+            cut_prob: 0.0,
         };
 
         let dfg = random_dfg(&dfg_params, dfg_seed);

@@ -154,6 +154,11 @@ fn fabric_candidates(spec: &CgraSpec) -> Vec<(&'static str, CgraSpec)> {
         s.torus = false;
         out.push(("drop torus", s));
     }
+    if spec.cut_row.is_some() {
+        let mut s = spec.clone();
+        s.cut_row = None;
+        out.push(("reconnect the cut", s));
+    }
     if spec.rows > 1 {
         let mut s = spec.clone();
         s.rows -= 1;

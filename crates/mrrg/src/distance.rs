@@ -1,0 +1,177 @@
+//! Static per-architecture hop-distance oracle.
+//!
+//! The router's DP relaxes `(pe, carrier)` states layer by layer; a state
+//! whose PE cannot reach the destination within the remaining steps can
+//! never contribute to an arrival candidate, so relaxing it is pure waste.
+//! This module precomputes the all-pairs minimum-hop table over the CGRA
+//! link topology with one BFS per destination, giving the router an
+//! admissible (never over-estimating) lower bound to prune against.
+//!
+//! The table depends only on the link topology, not on the II or the
+//! occupancy, so it is computed once per fabric and shared: the router
+//! caches it behind an [`Arc`] in [`RouterScratch`](crate::RouterScratch),
+//! keyed by [`Cgra::topology_fingerprint`], and portfolio workers receive
+//! the parent thread's table instead of re-running the BFS.
+
+use rewire_arch::{Cgra, PeId};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+/// All-pairs minimum link-hop distances over a CGRA's directed link graph.
+///
+/// `hops(from, to)` is the fewest links on any directed path `from → to`,
+/// or [`DistanceTable::UNREACHABLE`] when no path exists (disconnected
+/// fabrics). Distances follow the *links*, not grid geometry, so torus
+/// wraps and diagonals are measured exactly — unlike
+/// [`Cgra::distance`], which is a Manhattan/Chebyshev heuristic that
+/// over-estimates on wrap-around fabrics and therefore must not be used
+/// for exact pruning.
+#[derive(Clone)]
+pub struct DistanceTable {
+    fingerprint: u64,
+    num_pes: usize,
+    /// Row-major by destination: `table[dst * num_pes + src]` holds the
+    /// hop count `src → dst`, so one destination's row is a contiguous
+    /// slice the router can index by source PE in its inner loop.
+    table: Vec<u32>,
+}
+
+impl DistanceTable {
+    /// Sentinel distance for PE pairs with no connecting path.
+    pub const UNREACHABLE: u32 = u32::MAX;
+
+    /// Computes the table for `cgra`: one BFS per destination over the
+    /// reversed link graph (`links_to`), O(PEs · (PEs + links)) total.
+    pub fn build(cgra: &Cgra) -> Self {
+        let n = cgra.num_pes();
+        let mut table = vec![Self::UNREACHABLE; n * n];
+        let mut queue = VecDeque::new();
+        for dst in 0..n {
+            let row = &mut table[dst * n..(dst + 1) * n];
+            row[dst] = 0;
+            queue.clear();
+            queue.push_back(PeId::new(dst as u32));
+            while let Some(pe) = queue.pop_front() {
+                let d = row[pe.index()];
+                for link in cgra.links_to(pe) {
+                    let src = link.src();
+                    if row[src.index()] == Self::UNREACHABLE {
+                        row[src.index()] = d + 1;
+                        queue.push_back(src);
+                    }
+                }
+            }
+        }
+        Self {
+            fingerprint: cgra.topology_fingerprint(),
+            num_pes: n,
+            table,
+        }
+    }
+
+    /// Builds the table behind an [`Arc`], ready for cross-thread sharing.
+    pub fn shared(cgra: &Cgra) -> Arc<Self> {
+        Arc::new(Self::build(cgra))
+    }
+
+    /// Whether this table was built for `cgra`'s link topology.
+    pub fn matches(&self, cgra: &Cgra) -> bool {
+        self.fingerprint == cgra.topology_fingerprint() && self.num_pes == cgra.num_pes()
+    }
+
+    /// The fingerprint of the topology the table was built for.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Minimum link hops `from → to`, or [`Self::UNREACHABLE`].
+    pub fn hops(&self, from: PeId, to: PeId) -> u32 {
+        self.table[to.index() * self.num_pes + from.index()]
+    }
+
+    /// The distance row for destination `to`, indexed by source PE — the
+    /// router's hot-path accessor (one bounds check per route, not per
+    /// state).
+    pub fn to_pe(&self, to: PeId) -> &[u32] {
+        &self.table[to.index() * self.num_pes..(to.index() + 1) * self.num_pes]
+    }
+}
+
+impl fmt::Debug for DistanceTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DistanceTable")
+            .field("fingerprint", &self.fingerprint)
+            .field("num_pes", &self.num_pes)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rewire_arch::{presets, CgraBuilder, Coord};
+
+    fn pe(cgra: &Cgra, row: u16, col: u16) -> PeId {
+        cgra.pe_at(Coord::new(row, col)).unwrap().id()
+    }
+
+    #[test]
+    fn mesh_distances_match_manhattan() {
+        let cgra = presets::paper_4x4_r4();
+        let t = DistanceTable::build(&cgra);
+        for a in cgra.pes() {
+            for b in cgra.pes() {
+                assert_eq!(
+                    t.hops(a.id(), b.id()),
+                    cgra.distance(a.id(), b.id()),
+                    "{} -> {}",
+                    a.id(),
+                    b.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn torus_wraps_beat_the_manhattan_heuristic() {
+        let cgra = CgraBuilder::new(4, 4).torus(true).build().unwrap();
+        let t = DistanceTable::build(&cgra);
+        let a = pe(&cgra, 0, 0);
+        let b = pe(&cgra, 0, 3);
+        assert_eq!(t.hops(a, b), 1, "one wrap link, not three mesh hops");
+        assert_eq!(cgra.distance(a, b), 3, "the heuristic stays geometric");
+    }
+
+    #[test]
+    fn rows_are_indexed_by_source() {
+        let cgra = presets::paper_4x4_r4();
+        let t = DistanceTable::build(&cgra);
+        let dst = pe(&cgra, 2, 1);
+        let row = t.to_pe(dst);
+        for src in cgra.pes() {
+            assert_eq!(row[src.id().index()], t.hops(src.id(), dst));
+        }
+    }
+
+    #[test]
+    fn matches_tracks_the_fingerprint() {
+        let mesh = presets::paper_4x4_r4();
+        let torus = CgraBuilder::new(4, 4).torus(true).build().unwrap();
+        let t = DistanceTable::build(&mesh);
+        assert!(t.matches(&mesh));
+        assert!(!t.matches(&torus));
+    }
+
+    #[test]
+    fn disconnected_islands_are_unreachable() {
+        let cgra = CgraBuilder::new(4, 2).cut_row(2).build().unwrap();
+        let t = DistanceTable::build(&cgra);
+        let top = pe(&cgra, 0, 0);
+        let bottom = pe(&cgra, 3, 1);
+        assert_eq!(t.hops(top, bottom), DistanceTable::UNREACHABLE);
+        assert_eq!(t.hops(bottom, top), DistanceTable::UNREACHABLE);
+        // Within an island the distances stay finite.
+        assert_eq!(t.hops(top, pe(&cgra, 1, 1)), 2);
+    }
+}

@@ -62,14 +62,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod distance;
 mod graph;
 mod occupancy;
 mod resource;
 mod route;
 mod router;
 
+pub use distance::DistanceTable;
 pub use graph::Mrrg;
 pub use occupancy::Occupancy;
 pub use resource::Resource;
 pub use route::{Route, RouteError, RouteRequest};
-pub use router::{CostModel, NegotiatedCost, Router, RouterScratch, UnitCost};
+pub use router::{
+    default_router_mode, install_thread_distance_table, set_default_router_mode,
+    thread_distance_table, CostModel, NegotiatedCost, Router, RouterMode, RouterScratch, UnitCost,
+};

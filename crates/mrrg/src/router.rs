@@ -7,11 +7,13 @@
 //! -programming sweep per layer — no priority queue needed because all
 //! edges advance exactly one layer.
 
-use crate::{Mrrg, Occupancy, Resource, Route, RouteError, RouteRequest};
+use crate::{DistanceTable, Mrrg, Occupancy, Resource, Route, RouteError, RouteRequest};
 use rewire_arch::{Cgra, PeId};
 use rewire_dfg::NodeId;
 use rewire_obs as obs;
 use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Pluggable cell-cost policy for the router.
@@ -125,6 +127,57 @@ impl CostModel for NegotiatedCost {
     }
 }
 
+/// Sweep strategy for the router's per-layer dynamic program.
+///
+/// Both modes produce byte-identical routes (pinned by the differential
+/// tests in `crates/mrrg/tests/route_pruning.rs`); they differ only in how
+/// many states they relax per layer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RouterMode {
+    /// Sweep a sorted sparse frontier of live states and skip any state
+    /// whose PE cannot reach the destination in the remaining steps, using
+    /// the [`DistanceTable`] hop oracle as an admissible lower bound. The
+    /// default.
+    Pruned,
+    /// The original dense `0..num_states` sweep. Kept compiled (not just
+    /// `#[cfg(test)]`) so the differential tests and the `router_prune`
+    /// bench can run it as the oracle against the pruned path.
+    Dense,
+}
+
+/// Process-wide default mode picked up by [`Router::new`]. A global (not a
+/// thread-local) because the portfolio mapper routes from freshly spawned
+/// worker threads, and a whole-process differential run (tests, bench,
+/// `--router dense`) must reach those too.
+static DEFAULT_ROUTER_MODE: AtomicU8 = AtomicU8::new(0); // 0 = Pruned
+
+fn mode_to_u8(mode: RouterMode) -> u8 {
+    match mode {
+        RouterMode::Pruned => 0,
+        RouterMode::Dense => 1,
+    }
+}
+
+fn mode_from_u8(v: u8) -> RouterMode {
+    if v == 0 {
+        RouterMode::Pruned
+    } else {
+        RouterMode::Dense
+    }
+}
+
+/// Sets the process-wide default [`RouterMode`] and returns the previous
+/// one, so differential harnesses can restore it. Routers already
+/// constructed keep the mode they were built with.
+pub fn set_default_router_mode(mode: RouterMode) -> RouterMode {
+    mode_from_u8(DEFAULT_ROUTER_MODE.swap(mode_to_u8(mode), Ordering::SeqCst))
+}
+
+/// The process-wide default [`RouterMode`] used by [`Router::new`].
+pub fn default_router_mode() -> RouterMode {
+    mode_from_u8(DEFAULT_ROUTER_MODE.load(Ordering::SeqCst))
+}
+
 /// Value location during routing: on the PE's wire fabric, or parked in a
 /// register (with its residency run length, to respect the modulo wrap).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -132,6 +185,51 @@ enum Carrier {
     Wire,
     /// `(register index, cycles spent in it so far)`.
     Reg(u8, u32),
+}
+
+/// A reusable bitset over dense MRRG cell indices with O(touched words)
+/// clearing, so the duplicate-cell scan after each route attempt costs one
+/// pass over the route instead of a quadratic `Vec::contains` loop.
+#[derive(Clone, Debug, Default)]
+struct CellBitset {
+    words: Vec<u64>,
+    touched: Vec<u32>,
+}
+
+impl CellBitset {
+    /// Clears all set bits and resizes for a universe of `num_cells`.
+    fn reset(&mut self, num_cells: usize) {
+        let words = num_cells.div_ceil(64);
+        if self.words.len() == words {
+            for &w in &self.touched {
+                self.words[w as usize] = 0;
+            }
+        } else {
+            self.words.clear();
+            self.words.resize(words, 0);
+        }
+        self.touched.clear();
+    }
+
+    /// Sets a bit; returns whether it was already set.
+    fn test_and_set(&mut self, idx: usize) -> bool {
+        let (w, b) = (idx / 64, 1u64 << (idx % 64));
+        let word = &mut self.words[w];
+        if *word == 0 {
+            self.touched.push(w as u32);
+        }
+        let was = *word & b != 0;
+        *word |= b;
+        was
+    }
+
+    fn test(&self, idx: usize) -> bool {
+        self.words[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    fn clear(&mut self, idx: usize) {
+        self.words[idx / 64] &= !(1u64 << (idx % 64));
+    }
 }
 
 /// Reusable buffers for the router's layered dynamic program.
@@ -158,6 +256,21 @@ pub struct RouterScratch {
     next: Vec<f64>,
     /// Per-layer parent pointers: `(previous state, resource consumed)`.
     parents: Vec<Vec<(u32, Resource)>>,
+    /// Live (finite-value) states of the current layer, for the pruned
+    /// sparse sweep. Sorted ascending before each layer so relaxation
+    /// order — and therefore every tie-break — matches the dense scan.
+    frontier: Vec<u32>,
+    /// Live states being collected for the next layer.
+    next_frontier: Vec<u32>,
+    /// Cells seen while scanning a candidate route for duplicates.
+    seen_cells: CellBitset,
+    /// Cells seen at least twice in the candidate route.
+    dup_cells: CellBitset,
+    /// Cached hop-distance oracle for the fabric being routed, validated
+    /// against `Cgra::topology_fingerprint` on every route call. Portfolio
+    /// workers receive the parent's table via
+    /// [`install_thread_distance_table`] instead of re-running the BFS.
+    distances: Option<Arc<DistanceTable>>,
     /// Cached `router.*` metric handles, re-resolved when the thread's
     /// metric scope changes (`rewire_obs::scope_epoch`). Keeping handles
     /// here turns the per-call metrics flush into a few atomic adds.
@@ -174,8 +287,10 @@ struct RouteMetricHandles {
     route_failed: obs::Counter,
     route_ns: obs::Counter,
     expansions: obs::Counter,
+    pruned_states: obs::Counter,
     retries: obs::Counter,
     route_len: obs::Histogram,
+    frontier_size: obs::Histogram,
 }
 
 impl RouteMetricHandles {
@@ -187,8 +302,10 @@ impl RouteMetricHandles {
             route_failed: obs::counter("router.route_failed"),
             route_ns: obs::counter("router.route_ns"),
             expansions: obs::counter("router.expansions"),
+            pruned_states: obs::counter("router.pruned_states"),
             retries: obs::counter("router.retries"),
             route_len: obs::histogram("router.route_len"),
+            frontier_size: obs::histogram("router.frontier_size"),
         }
     }
 }
@@ -220,6 +337,55 @@ impl RouterScratch {
         self.overlay[idx] += penalty;
     }
 
+    /// The hop-distance oracle for `cgra`, building and caching it on
+    /// first use and rebuilding if the scratch last served a different
+    /// topology (validated via [`Cgra::topology_fingerprint`]).
+    fn distances_for(&mut self, cgra: &Cgra) -> Arc<DistanceTable> {
+        match &self.distances {
+            Some(t) if t.matches(cgra) => Arc::clone(t),
+            _ => {
+                let t = DistanceTable::shared(cgra);
+                self.distances = Some(Arc::clone(&t));
+                t
+            }
+        }
+    }
+
+    /// Installs a prebuilt distance table so this scratch skips the BFS.
+    /// A table for a different fabric is simply evicted on first use.
+    pub fn install_distances(&mut self, table: Arc<DistanceTable>) {
+        self.distances = Some(table);
+    }
+
+    /// Cells appearing more than once in `resources`, each reported once,
+    /// ordered by first occurrence — exactly what the quadratic
+    /// `Vec::contains` scan used to produce, in O(len) via two bitset
+    /// passes (mark cells seen twice, then emit marked cells in first-
+    /// occurrence order, un-marking as they are emitted).
+    fn duplicate_cells(&mut self, mrrg: &Mrrg, resources: &[Resource]) -> Vec<Resource> {
+        self.seen_cells.reset(mrrg.num_cells());
+        self.dup_cells.reset(mrrg.num_cells());
+        let mut any = false;
+        for res in resources {
+            let idx = mrrg.index_of(*res);
+            if self.seen_cells.test_and_set(idx) && !self.dup_cells.test_and_set(idx) {
+                any = true;
+            }
+        }
+        if !any {
+            return Vec::new();
+        }
+        let mut duplicates = Vec::new();
+        for res in resources {
+            let idx = mrrg.index_of(*res);
+            if self.dup_cells.test(idx) {
+                self.dup_cells.clear(idx);
+                duplicates.push(*res);
+            }
+        }
+        duplicates
+    }
+
     /// The `router.*` metric handles for the calling thread's current
     /// scope, re-resolving when the scope has changed since they were
     /// cached. Scratch instances are intended to stay on one thread (the
@@ -241,6 +407,27 @@ thread_local! {
     static ROUTE_SCRATCH: RefCell<RouterScratch> = RefCell::new(RouterScratch::new());
 }
 
+/// The calling thread's cached [`DistanceTable`] for `cgra`, building it on
+/// first use. Parents of a worker pool call this once, then hand the `Arc`
+/// to each worker via [`install_thread_distance_table`] so the BFS runs
+/// once per fabric instead of once per thread.
+pub fn thread_distance_table(cgra: &Cgra) -> Arc<DistanceTable> {
+    ROUTE_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => scratch.distances_for(cgra),
+        Err(_) => DistanceTable::shared(cgra),
+    })
+}
+
+/// Seeds the calling thread's router scratch with a prebuilt distance
+/// table (see [`thread_distance_table`]).
+pub fn install_thread_distance_table(table: Arc<DistanceTable>) {
+    ROUTE_SCRATCH.with(|cell| {
+        if let Ok(mut scratch) = cell.try_borrow_mut() {
+            scratch.install_distances(table);
+        }
+    });
+}
+
 /// The layered-DAG router.
 ///
 /// See the crate docs for the timing contract. One `Router` borrows the
@@ -249,17 +436,30 @@ thread_local! {
 pub struct Router<'a> {
     cgra: &'a Cgra,
     mrrg: &'a Mrrg,
+    mode: RouterMode,
 }
 
 impl<'a> Router<'a> {
-    /// Creates a router over `cgra` time-extended as `mrrg`.
+    /// Creates a router over `cgra` time-extended as `mrrg`, using the
+    /// process-wide [`default_router_mode`].
     pub fn new(cgra: &'a Cgra, mrrg: &'a Mrrg) -> Self {
-        Self { cgra, mrrg }
+        Self::with_mode(cgra, mrrg, default_router_mode())
+    }
+
+    /// Creates a router with an explicit sweep mode, for differential
+    /// harnesses that pin dense and pruned routers side by side.
+    pub fn with_mode(cgra: &'a Cgra, mrrg: &'a Mrrg, mode: RouterMode) -> Self {
+        Self { cgra, mrrg, mode }
     }
 
     /// The MRRG shape in use.
     pub fn mrrg(&self) -> &Mrrg {
         self.mrrg
+    }
+
+    /// The sweep mode this router was constructed with.
+    pub fn mode(&self) -> RouterMode {
+        self.mode
     }
 
     /// Finds a minimum-cost path satisfying `req` under `cost`.
@@ -299,13 +499,28 @@ impl<'a> Router<'a> {
     ) -> Result<Route, RouteError> {
         let start = Instant::now();
         let expansions = Cell::new(0u64);
+        let pruned = Cell::new(0u64);
+        let frontier_peak = Cell::new(0u64);
         let mut retries = 0u64;
-        let result = self.route_inner(occ, req, cost, scratch, &expansions, &mut retries);
+        let result = self.route_inner(
+            occ,
+            req,
+            cost,
+            scratch,
+            &expansions,
+            &pruned,
+            &frontier_peak,
+            &mut retries,
+        );
         let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         // Observe-only accounting: never feeds back into routing decisions.
         let m = scratch.metrics();
         m.route_calls.incr();
         m.expansions.add(expansions.get());
+        m.pruned_states.add(pruned.get());
+        if self.mode == RouterMode::Pruned {
+            m.frontier_size.record(frontier_peak.get());
+        }
         m.retries.add(retries);
         m.route_ns.add(elapsed_ns);
         match &result {
@@ -318,6 +533,7 @@ impl<'a> Router<'a> {
         result
     }
 
+    #[allow(clippy::too_many_arguments)] // internal plumbing for metric tallies
     fn route_inner(
         &self,
         occ: &Occupancy,
@@ -325,17 +541,15 @@ impl<'a> Router<'a> {
         cost: &impl CostModel,
         scratch: &mut RouterScratch,
         expansions: &Cell<u64>,
+        pruned: &Cell<u64>,
+        frontier_peak: &Cell<u64>,
         retries: &mut u64,
     ) -> Result<Route, RouteError> {
         scratch.reset_overlay(self.mrrg.num_cells());
         for _attempt in 0..10 {
-            let route = self.route_attempt(occ, req, cost, scratch, expansions)?;
-            let mut duplicates = Vec::new();
-            for (i, a) in route.resources().iter().enumerate() {
-                if route.resources()[i + 1..].contains(a) && !duplicates.contains(a) {
-                    duplicates.push(*a);
-                }
-            }
+            let route =
+                self.route_attempt(occ, req, cost, scratch, expansions, pruned, frontier_peak)?;
+            let duplicates = scratch.duplicate_cells(self.mrrg, route.resources());
             if duplicates.is_empty() {
                 return Ok(route);
             }
@@ -349,6 +563,23 @@ impl<'a> Router<'a> {
     }
 
     /// One DP attempt with the scratch's additive cost overlay.
+    ///
+    /// # Why pruning is exact
+    ///
+    /// A state at layer `k` (i.e. after `k` of the `len` steps) on PE `p`
+    /// can only contribute to an arrival candidate if `dist(p, dst) <=
+    /// (len - k) + 1`: a local arrival needs `dist` link hops within the
+    /// remaining `len - k` steps, and a delivery arrival needs to reach a
+    /// predecessor of `dst` (at distance `>= dist - 1`) before the final
+    /// combinational hop. Register steps never change the PE, so the hop
+    /// distance lower-bounds the link steps, which lower-bound the total
+    /// steps. Every DP predecessor of a feasible state is itself feasible
+    /// (one transition moves at most one hop), so skipping infeasible
+    /// states can never change the value, nor the parent, of any state the
+    /// arrival scan reads — and sweeping the live frontier in ascending
+    /// state order preserves the dense scan's strict-`<` tie-breaks.
+    /// Routes are therefore byte-identical across [`RouterMode`]s.
+    #[allow(clippy::too_many_arguments)] // internal plumbing for metric tallies
     fn route_attempt(
         &self,
         occ: &Occupancy,
@@ -356,6 +587,8 @@ impl<'a> Router<'a> {
         cost: &impl CostModel,
         scratch: &mut RouterScratch,
         expansions: &Cell<u64>,
+        pruned: &Cell<u64>,
+        frontier_peak: &Cell<u64>,
     ) -> Result<Route, RouteError> {
         let len = req
             .num_steps()
@@ -386,6 +619,13 @@ impl<'a> Router<'a> {
         };
 
         const INF: f64 = f64::INFINITY;
+        // The hop oracle is resolved before the scratch is split into
+        // field borrows; the `Arc` keeps the row alive for the sweep.
+        let distances = match self.mode {
+            RouterMode::Pruned => Some(scratch.distances_for(self.cgra)),
+            RouterMode::Dense => None,
+        };
+        let dist_to_dst: Option<&[u32]> = distances.as_deref().map(|d| d.to_pe(req.dst_pe));
         // Split the scratch into disjoint field borrows so the DP can hold
         // the overlay immutably while writing the value/parent rows.
         let RouterScratch {
@@ -393,11 +633,22 @@ impl<'a> Router<'a> {
             cur,
             next,
             parents,
+            frontier,
+            next_frontier,
             ..
         } = scratch;
         cur.clear();
         cur.resize(num_states, INF);
-        cur[encode(req.src_pe.index(), Carrier::Wire)] = 0.0;
+        let src_state = encode(req.src_pe.index(), Carrier::Wire);
+        cur[src_state] = 0.0;
+        frontier.clear();
+        frontier.push(src_state as u32);
+        frontier_peak.set(frontier_peak.get().max(1));
+        // Dense mode sweeps every state id; only materialised when needed.
+        let dense_states: Vec<u32> = match dist_to_dst {
+            None => (0..num_states as u32).collect(),
+            Some(_) => Vec::new(),
+        };
         if parents.len() < len {
             parents.resize(len, Vec::new());
         }
@@ -418,14 +669,33 @@ impl<'a> Router<'a> {
                     },
                 ),
             );
+            next_frontier.clear();
+            // A state expanded here still has `len - k` steps (this move
+            // included) plus the optional delivery hop to reach `dst`.
+            let hop_budget = (len - k) as u32 + 1;
 
-            #[allow(clippy::needless_range_loop)] // index is also the state id
-            for state in 0..num_states {
+            let sweep: &[u32] = match dist_to_dst {
+                Some(_) => {
+                    // Ascending state order keeps every tie-break
+                    // identical to the dense scan.
+                    frontier.sort_unstable();
+                    &frontier[..]
+                }
+                None => &dense_states,
+            };
+            for &swept in sweep {
+                let state = swept as usize;
                 let base = cur[state];
                 if base == INF {
-                    continue;
+                    continue; // dense mode only: frontier states are live
                 }
                 let (pe_idx, carrier) = decode(state);
+                if let Some(dist) = dist_to_dst {
+                    if dist[pe_idx] > hop_budget {
+                        pruned.set(pruned.get() + 1);
+                        continue;
+                    }
+                }
                 // PeIds are dense row-major indices, so the state's PE is a
                 // direct construction (this used to be an O(num_pes)
                 // iterator walk in the DP inner loop).
@@ -435,11 +705,15 @@ impl<'a> Router<'a> {
                 let relax = |next_state: usize,
                              res: Resource,
                              next_vec: &mut Vec<f64>,
-                             parent_vec: &mut Vec<(u32, Resource)>| {
+                             parent_vec: &mut Vec<(u32, Resource)>,
+                             live: &mut Vec<u32>| {
                     expansions.set(expansions.get() + 1);
                     if let Some(c) = cost.cell_cost(occ, res, req.signal, k as u32) {
                         let cand = base + c + overlay[mrrg.index_of(res)];
                         if cand < next_vec[next_state] {
+                            if next_vec[next_state] == INF {
+                                live.push(next_state as u32);
+                            }
                             next_vec[next_state] = cand;
                             parent_vec[next_state] = (state as u32, res);
                         }
@@ -453,7 +727,7 @@ impl<'a> Router<'a> {
                         slot,
                     };
                     let ns = encode(link.dst().index(), Carrier::Wire);
-                    relax(ns, res, next, parent);
+                    relax(ns, res, next, parent, next_frontier);
                 }
 
                 match carrier {
@@ -462,7 +736,7 @@ impl<'a> Router<'a> {
                         for r in 0..regs as u8 {
                             let res = Resource::Reg { pe, reg: r, slot };
                             let ns = encode(pe_idx, Carrier::Reg(r, 1));
-                            relax(ns, res, next, parent);
+                            relax(ns, res, next, parent, next_frontier);
                         }
                     }
                     Carrier::Reg(r, run) => {
@@ -471,21 +745,23 @@ impl<'a> Router<'a> {
                         if run < ii {
                             let res = Resource::Reg { pe, reg: r, slot };
                             let ns = encode(pe_idx, Carrier::Reg(r, run + 1));
-                            relax(ns, res, next, parent);
+                            relax(ns, res, next, parent, next_frontier);
                         }
                         // Transfer to a sibling register.
                         for r2 in 0..regs as u8 {
                             if r2 != r {
                                 let res = Resource::Reg { pe, reg: r2, slot };
                                 let ns = encode(pe_idx, Carrier::Reg(r2, 1));
-                                relax(ns, res, next, parent);
+                                relax(ns, res, next, parent, next_frontier);
                             }
                         }
                     }
                 }
             }
 
+            frontier_peak.set(frontier_peak.get().max(next_frontier.len() as u64));
             std::mem::swap(cur, next);
+            std::mem::swap(frontier, next_frontier);
         }
 
         // Arrival. Two ways for the consumer FU to read the value during
@@ -897,6 +1173,125 @@ mod tests {
         assert!(s.counters["router.expansions"] > 0, "relax calls counted");
         assert_eq!(s.histograms["router.route_len"].count, 1);
         assert_eq!(s.histograms["router.route_len"].min, Some(1));
+    }
+
+    /// The quadratic scan `duplicate_cells` replaced, kept verbatim as the
+    /// behavioural reference: every cell appearing at least twice, reported
+    /// once, in first-occurrence order.
+    fn quadratic_duplicates(resources: &[Resource]) -> Vec<Resource> {
+        let mut duplicates = Vec::new();
+        for (i, a) in resources.iter().enumerate() {
+            if resources[i + 1..].contains(a) && !duplicates.contains(a) {
+                duplicates.push(*a);
+            }
+        }
+        duplicates
+    }
+
+    #[test]
+    fn duplicate_scan_matches_the_quadratic_reference() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let (_cgra, mrrg) = setup(3);
+        let mut scratch = RouterScratch::new();
+        let mut rng = StdRng::seed_from_u64(17);
+        for trial in 0..200 {
+            let len = rng.random_range(0..24usize);
+            let cells: Vec<Resource> = (0..len)
+                .map(|_| mrrg.resource_of(rng.random_range(0..mrrg.num_cells())))
+                .collect();
+            assert_eq!(
+                scratch.duplicate_cells(&mrrg, &cells),
+                quadratic_duplicates(&cells),
+                "trial {trial}: {cells:?}"
+            );
+        }
+        // Hand-picked interleaving where second-occurrence order would
+        // differ from first-occurrence order: [A, B, B, A].
+        let a = mrrg.resource_of(0);
+        let b = mrrg.resource_of(1);
+        let cells = vec![a, b, b, a];
+        assert_eq!(scratch.duplicate_cells(&mrrg, &cells), vec![a, b]);
+    }
+
+    #[test]
+    fn dense_and_pruned_routers_agree_and_prune() {
+        let (cgra, mrrg) = setup(4);
+        let occ = Occupancy::new(&mrrg);
+        let dense = Router::with_mode(&cgra, &mrrg, RouterMode::Dense);
+        let pruned = Router::with_mode(&cgra, &mrrg, RouterMode::Pruned);
+        let _scope = obs::scope("test/dense_vs_pruned_unit");
+        let mut ds = RouterScratch::new();
+        let mut ps = RouterScratch::new();
+        for (src, dst, depart, arrive) in [
+            ((0, 0), (2, 3), 1, 6),
+            ((0, 0), (0, 1), 1, 4),
+            ((3, 3), (0, 0), 2, 9),
+            ((1, 1), (1, 1), 1, 3),
+        ] {
+            let r = req(
+                0,
+                pe(&cgra, src.0, src.1),
+                depart,
+                pe(&cgra, dst.0, dst.1),
+                arrive,
+            );
+            let a = dense.route_with(&occ, &r, &UnitCost, &mut ds).unwrap();
+            let b = pruned.route_with(&occ, &r, &UnitCost, &mut ps).unwrap();
+            assert_eq!(a, b, "{r:?}");
+        }
+        let snap = obs::metrics().snapshot();
+        let s = &snap.scopes["test/dense_vs_pruned_unit"];
+        assert!(
+            s.counters["router.pruned_states"] > 0,
+            "the oracle pruned something on a 4x4 fabric"
+        );
+        assert!(s.histograms["router.frontier_size"].count > 0);
+    }
+
+    #[test]
+    fn unreachable_destination_is_no_path_in_both_modes() {
+        // A deliberately disconnected fabric: rows 0..1 and 1..3 are
+        // separate islands, so cross-island requests must fail cleanly.
+        let cgra = rewire_arch::CgraBuilder::new(3, 3)
+            .cut_row(1)
+            .build()
+            .unwrap();
+        let mrrg = Mrrg::new(&cgra, 2);
+        let occ = Occupancy::new(&mrrg);
+        let r = req(0, pe(&cgra, 0, 0), 1, pe(&cgra, 2, 2), 9);
+        for mode in [RouterMode::Dense, RouterMode::Pruned] {
+            let router = Router::with_mode(&cgra, &mrrg, mode);
+            let e = router.route(&occ, &r, &UnitCost).unwrap_err();
+            assert!(matches!(e, RouteError::NoPath { .. }), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn default_mode_toggle_round_trips() {
+        // Serialized within this one test: other tests in this binary never
+        // touch the global default.
+        assert_eq!(default_router_mode(), RouterMode::Pruned);
+        let prev = set_default_router_mode(RouterMode::Dense);
+        assert_eq!(prev, RouterMode::Pruned);
+        let (cgra, mrrg) = setup(2);
+        assert_eq!(Router::new(&cgra, &mrrg).mode(), RouterMode::Dense);
+        set_default_router_mode(prev);
+        assert_eq!(Router::new(&cgra, &mrrg).mode(), RouterMode::Pruned);
+    }
+
+    #[test]
+    fn installed_distance_table_is_reused() {
+        let (cgra, _mrrg) = setup(2);
+        let table = DistanceTable::shared(&cgra);
+        let mut scratch = RouterScratch::new();
+        scratch.install_distances(Arc::clone(&table));
+        assert!(Arc::ptr_eq(&scratch.distances_for(&cgra), &table));
+        // A table for another fabric is evicted, not trusted.
+        let other = rewire_arch::CgraBuilder::new(2, 2).build().unwrap();
+        let rebuilt = scratch.distances_for(&other);
+        assert!(!Arc::ptr_eq(&rebuilt, &table));
+        assert!(rebuilt.matches(&other));
     }
 
     #[test]

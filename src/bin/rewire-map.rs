@@ -38,6 +38,7 @@ struct Args {
     trace: Option<String>,
     metrics: Option<String>,
     progress: bool,
+    router: RouterMode,
 }
 
 impl Args {
@@ -63,6 +64,7 @@ impl Args {
             trace: None,
             metrics: None,
             progress: false,
+            router: rewire::mrrg::default_router_mode(),
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -109,6 +111,13 @@ impl Args {
                 "--trace" => a.trace = Some(val("--trace")?),
                 "--metrics" => a.metrics = Some(val("--metrics")?),
                 "--progress" => a.progress = true,
+                "--router" => {
+                    a.router = match val("--router")?.as_str() {
+                        "dense" => RouterMode::Dense,
+                        "pruned" => RouterMode::Pruned,
+                        other => return Err(format!("--router: `{other}` (dense|pruned)")),
+                    }
+                }
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
             }
@@ -136,7 +145,8 @@ usage: rewire-map (--kernel <name> | --dfg <file>) [options]
   --verify N                       simulate N iterations and check semantics
   --trace <file>                   write a JSONL MapEvent trace of the run
   --metrics <file>                 write a metrics snapshot (counters, span timers) as JSON
-  --progress                       print per-II mapping progress to stderr";
+  --progress                       print per-II mapping progress to stderr
+  --router dense|pruned            router sweep mode (default pruned; same results, A/B the work)";
 
 fn build_cgra(a: &Args) -> Result<Cgra, String> {
     if let Some(arch) = &a.arch {
@@ -174,6 +184,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    rewire::mrrg::set_default_router_mode(args.router);
     let (cgra, dfg) = match (build_cgra(&args), load_dfg(&args)) {
         (Ok(c), Ok(d)) => (c, d),
         (Err(e), _) | (_, Err(e)) => {

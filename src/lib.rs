@@ -54,6 +54,6 @@ pub mod prelude {
     pub use rewire_mappers::{
         MapLimits, MapOutcome, MapStats, Mapper, Mapping, PathFinderMapper, SaMapper,
     };
-    pub use rewire_mrrg::{Mrrg, Occupancy, Router, UnitCost};
+    pub use rewire_mrrg::{Mrrg, Occupancy, Route, Router, RouterMode, UnitCost};
     pub use rewire_sim::{verify_semantics, Inputs};
 }

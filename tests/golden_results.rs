@@ -1,0 +1,122 @@
+//! Golden-snapshot regression gate: the achieved II and mapping cost of
+//! the capped deterministic Rewire mapper, for every kernel in the suite
+//! on all four paper presets, pinned as a checked-in text snapshot.
+//!
+//! Any router or mapper change that shifts a result — a different II, a
+//! different number of occupied MRRG cells, a kernel flipping between
+//! mapped and unmapped — fails this test loudly with a line-level diff
+//! instead of drifting silently. Intentional changes are blessed with:
+//!
+//! ```text
+//! REWIRE_BLESS=1 cargo test --test golden_results
+//! ```
+//!
+//! and the regenerated `tests/golden/results.txt` is reviewed like code.
+
+use rewire::prelude::*;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn snapshot_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/results.txt")
+}
+
+/// The same capped deterministic configuration the determinism and
+/// differential suites use: stochastic loops bound by iteration caps, the
+/// wall clock never binding, so the snapshot is machine-independent.
+fn capped_rewire() -> RewireMapper {
+    RewireMapper::with_config(RewireConfig {
+        max_cluster_attempts: 6,
+        max_restarts_per_ii: 1,
+        ..Default::default()
+    })
+}
+
+fn limits_for(dfg: &Dfg, cgra: &Cgra) -> Option<MapLimits> {
+    let mii = dfg.mii(cgra)?;
+    Some(
+        MapLimits::fast()
+            .with_seed(0xFACADE)
+            .with_ii_time_budget(Duration::from_secs(600))
+            .with_max_ii(mii + 1),
+    )
+}
+
+fn render_current() -> String {
+    let presets: [(&str, Cgra); 4] = [
+        ("paper_4x4_r4", presets::paper_4x4_r4()),
+        ("paper_8x8_r4", presets::paper_8x8_r4()),
+        ("paper_4x4_r2", presets::paper_4x4_r2()),
+        ("paper_4x4_r1", presets::paper_4x4_r1()),
+    ];
+    let suite = kernels::all();
+    assert!(suite.len() >= 30, "the full benchmark suite");
+    let mut out = String::new();
+    out.push_str("# Golden mapping results: capped deterministic Rewire (seed 0xFACADE).\n");
+    out.push_str("# <preset> <kernel> ii=<achieved> cost=<occupied MRRG cells> | unmapped\n");
+    out.push_str("# Regenerate with: REWIRE_BLESS=1 cargo test --test golden_results\n");
+    let mapper = capped_rewire();
+    for (preset_name, cgra) in &presets {
+        for (kernel, dfg) in &suite {
+            let Some(limits) = limits_for(dfg, cgra) else {
+                writeln!(out, "{preset_name} {kernel} infeasible").unwrap();
+                continue;
+            };
+            let outcome = mapper.map(dfg, cgra, &limits);
+            match (&outcome.mapping, outcome.stats.achieved_ii) {
+                (Some(m), Some(ii)) => {
+                    writeln!(
+                        out,
+                        "{preset_name} {kernel} ii={ii} cost={}",
+                        m.occupancy().used_cells()
+                    )
+                    .unwrap();
+                }
+                _ => writeln!(out, "{preset_name} {kernel} unmapped").unwrap(),
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn results_match_the_golden_snapshot() {
+    let current = render_current();
+    let path = snapshot_path();
+    if std::env::var_os("REWIRE_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &current).unwrap();
+        eprintln!(
+            "blessed {} ({} lines)",
+            path.display(),
+            current.lines().count()
+        );
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run REWIRE_BLESS=1 cargo test --test golden_results",
+            path.display()
+        )
+    });
+    if golden == current {
+        return;
+    }
+    // Line-level diff: show exactly which kernels moved.
+    let mut drifted = String::new();
+    for (g, c) in golden.lines().zip(current.lines()) {
+        if g != c {
+            writeln!(drifted, "  -{g}\n  +{c}").unwrap();
+        }
+    }
+    let (gn, cn) = (golden.lines().count(), current.lines().count());
+    if gn != cn {
+        writeln!(drifted, "  (line count {gn} -> {cn})").unwrap();
+    }
+    panic!(
+        "mapping results drifted from {}:\n{drifted}\
+         if intentional, re-bless with REWIRE_BLESS=1 cargo test --test golden_results",
+        snapshot_path().display()
+    );
+}

@@ -1,0 +1,233 @@
+//! Mapper-level differential route-equivalence: flipping the router's
+//! sweep mode between [`RouterMode::Dense`] and [`RouterMode::Pruned`]
+//! must leave every mapper's output byte-identical — achieved II,
+//! iteration counts, every placement AND every route — across the full
+//! kernel suite and the checked-in fuzz corpus. The router-level
+//! counterpart (randomized single routes) lives in
+//! `crates/mrrg/tests/route_pruning.rs`.
+//!
+//! The router mode is a process-wide global (the portfolio workers route
+//! from fresh threads), so the tests in this binary serialize on a mutex
+//! and restore the default before releasing it.
+
+use rewire::prelude::*;
+use rewire_fuzz::differential_mappers;
+use rewire_mrrg::{set_default_router_mode, Route, RouterMode};
+use rewire_obs as obs;
+use std::sync::Mutex;
+use std::time::Duration;
+
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Restores the previous default router mode on drop, so a failing
+/// assertion cannot leak Dense mode into the other test.
+struct ModeGuard(RouterMode);
+
+impl ModeGuard {
+    fn set(mode: RouterMode) -> Self {
+        Self(set_default_router_mode(mode))
+    }
+}
+
+impl Drop for ModeGuard {
+    fn drop(&mut self) {
+        set_default_router_mode(self.0);
+    }
+}
+
+/// The complete observable output of a run: search stats, placements, and
+/// the byte-for-byte routes of every edge.
+#[derive(Debug, PartialEq)]
+struct FullFingerprint {
+    achieved_ii: Option<u32>,
+    iis_explored: u32,
+    remap_iterations: u64,
+    placements: Option<Vec<Option<(PeId, u32)>>>,
+    routes: Option<Vec<Option<Route>>>,
+}
+
+fn full_fingerprint(dfg: &Dfg, out: &MapOutcome) -> FullFingerprint {
+    FullFingerprint {
+        achieved_ii: out.stats.achieved_ii,
+        iis_explored: out.stats.iis_explored,
+        remap_iterations: out.stats.remap_iterations,
+        placements: out
+            .mapping
+            .as_ref()
+            .map(|m| dfg.node_ids().map(|n| m.placement(n)).collect()),
+        routes: out
+            .mapping
+            .as_ref()
+            .map(|m| dfg.edges().map(|e| m.route(e.id()).cloned()).collect()),
+    }
+}
+
+/// Deterministic caps bind, the wall clock never does (same idiom as
+/// `tests/engine_determinism.rs`) — the precondition for byte-identical
+/// cross-mode comparison.
+fn limits_for(dfg: &Dfg, cgra: &Cgra) -> Option<MapLimits> {
+    let mii = dfg.mii(cgra)?;
+    Some(
+        MapLimits::fast()
+            .with_seed(0xFACADE)
+            .with_ii_time_budget(Duration::from_secs(600))
+            .with_max_ii(mii + 1),
+    )
+}
+
+/// Cumulative `router.expansions` over every scope. The engine rescopes
+/// each run to `mapper/kernel` (scopes replace, they do not nest), so
+/// attributing a single run means taking before/after deltas of this
+/// total while the suite holds `MODE_LOCK`.
+fn total_expansions() -> u64 {
+    let snap = obs::metrics().snapshot();
+    snap.scopes
+        .values()
+        .filter_map(|s| s.counters.get("router.expansions").copied())
+        .sum()
+}
+
+#[test]
+fn kernel_suite_is_byte_identical_across_router_modes() {
+    let _serial = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cgra = presets::paper_4x4_r4();
+    let suite = kernels::all();
+    assert!(suite.len() >= 30, "the full benchmark suite");
+    let (mut suite_dense, mut suite_pruned) = (0u64, 0u64);
+    for mapper in differential_mappers() {
+        for (name, dfg) in &suite {
+            let Some(limits) = limits_for(dfg, &cgra) else {
+                continue;
+            };
+            let before_dense = total_expansions();
+            let dense = {
+                let _mode = ModeGuard::set(RouterMode::Dense);
+                full_fingerprint(dfg, &mapper.map(dfg, &cgra, &limits))
+            };
+            let before_pruned = total_expansions();
+            let pruned = {
+                let _mode = ModeGuard::set(RouterMode::Pruned);
+                full_fingerprint(dfg, &mapper.map(dfg, &cgra, &limits))
+            };
+            let after = total_expansions();
+            assert_eq!(
+                dense,
+                pruned,
+                "{} on {name}: router modes diverged",
+                mapper.name()
+            );
+            // Pruning must only ever remove work. (Equality is possible on
+            // kernels the mapper resolves without long-haul routes.)
+            let d = before_pruned - before_dense;
+            let p = after - before_pruned;
+            assert!(
+                p <= d,
+                "{} on {name}: pruned router expanded more ({p} > {d})",
+                mapper.name()
+            );
+            suite_dense += d;
+            suite_pruned += p;
+        }
+    }
+    // Vacuity guard: a broken counter (or a scope change swallowing it)
+    // would make every p <= d assertion above trivially true.
+    assert!(
+        suite_dense > 0,
+        "no dense expansions recorded across the suite"
+    );
+    assert!(
+        suite_pruned < suite_dense,
+        "pruning saved no work across the whole suite ({suite_pruned} vs {suite_dense})"
+    );
+}
+
+/// Prints the per-kernel `router.expansions` dense-vs-pruned table that
+/// EXPERIMENTS.md quotes. Ignored by default (it is a measurement, not a
+/// gate); regenerate with:
+///
+/// ```text
+/// cargo test --test route_pruning_mappers -- --ignored --nocapture
+/// ```
+#[test]
+#[ignore = "measurement for EXPERIMENTS.md, not a gate"]
+fn print_expansion_table() {
+    let _serial = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cgra = presets::paper_4x4_r4();
+    let mapper = &differential_mappers()[0]; // capped Rewire
+    println!("| kernel | dense | pruned | saved |");
+    println!("|---|---:|---:|---:|");
+    let (mut td, mut tp) = (0u64, 0u64);
+    for (name, dfg) in &kernels::all() {
+        let Some(limits) = limits_for(dfg, &cgra) else {
+            continue;
+        };
+        let before_dense = total_expansions();
+        {
+            let _mode = ModeGuard::set(RouterMode::Dense);
+            mapper.map(dfg, &cgra, &limits);
+        }
+        let before_pruned = total_expansions();
+        {
+            let _mode = ModeGuard::set(RouterMode::Pruned);
+            mapper.map(dfg, &cgra, &limits);
+        }
+        let d = before_pruned - before_dense;
+        let p = total_expansions() - before_pruned;
+        td += d;
+        tp += p;
+        let saved = 100.0 * (d.saturating_sub(p)) as f64 / (d.max(1)) as f64;
+        println!("| {name} | {d} | {p} | {saved:.1} % |");
+    }
+    let saved = 100.0 * (td.saturating_sub(tp)) as f64 / (td.max(1)) as f64;
+    println!("| **total** | **{td}** | **{tp}** | **{saved:.1} %** |");
+}
+
+/// The checked-in fuzz corpus replays identically under both modes: same
+/// mapper outcomes, placements and routes for every artifact.
+#[test]
+fn fuzz_corpus_is_byte_identical_across_router_modes() {
+    let _serial = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fuzz/corpus");
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("fuzz/corpus exists")
+        .map(|e| e.expect("readable corpus entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "dfg"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 5, "corpus holds at least 5 artifacts");
+    for path in paths {
+        let text = std::fs::read_to_string(&path).expect("readable artifact");
+        let artifact = rewire_fuzz::Artifact::from_text(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let scenario = rewire_fuzz::Scenario::from_parts(
+            artifact.seed,
+            artifact.dfg.clone(),
+            artifact.spec.clone(),
+        );
+        let limits = limits_for(&scenario.dfg, &scenario.cgra);
+        let Some(limits) = limits else { continue };
+        for mapper in differential_mappers() {
+            let dense = {
+                let _mode = ModeGuard::set(RouterMode::Dense);
+                full_fingerprint(
+                    &scenario.dfg,
+                    &mapper.map(&scenario.dfg, &scenario.cgra, &limits),
+                )
+            };
+            let pruned = {
+                let _mode = ModeGuard::set(RouterMode::Pruned);
+                full_fingerprint(
+                    &scenario.dfg,
+                    &mapper.map(&scenario.dfg, &scenario.cgra, &limits),
+                )
+            };
+            assert_eq!(
+                dense,
+                pruned,
+                "{} on {}: router modes diverged",
+                mapper.name(),
+                path.display()
+            );
+        }
+    }
+}
