@@ -51,6 +51,49 @@ fn four_by_four(regs: u8) -> Cgra {
         .expect("preset configuration is valid")
 }
 
+/// 16×16 mesh, four registers per PE, memory on the outermost columns —
+/// the 8×8 paper fabric's layout continued one doubling up.
+pub fn mesh16() -> Cgra {
+    big_mesh(16)
+}
+
+/// 32×32 mesh (1024 PEs): the first size past
+/// `DistanceOracle::DENSE_PE_LIMIT`, so mapping it exercises the tiered
+/// landmark oracle. Used by the large-fabric CI smoke.
+pub fn mesh32() -> Cgra {
+    big_mesh(32)
+}
+
+/// 64×64 mesh (4096 PEs): the scaling suite's top end. A dense all-pairs
+/// distance table here would be 67 MB; the tiered oracle holds ~2 MB.
+pub fn mesh64() -> Cgra {
+    big_mesh(64)
+}
+
+/// The scaling-curve fabric ladder (`EXPERIMENTS.md` §scaling), smallest
+/// first: the two paper meshes, then each doubling up to 64×64.
+pub fn scaling_configs() -> Vec<(&'static str, Cgra)> {
+    vec![
+        ("4x4", paper_4x4_r4()),
+        ("8x8", paper_8x8_r4()),
+        ("16x16", mesh16()),
+        ("32x32", mesh32()),
+        ("64x64", mesh64()),
+    ]
+}
+
+fn big_mesh(n: u16) -> Cgra {
+    // One bank per memory PE row mirrors the paper 8×8's eight banks for
+    // two memory columns of eight rows each; memory stays on the fabric
+    // edge so interior PEs are pure compute.
+    CgraBuilder::new(n, n)
+        .regs_per_pe(4)
+        .memory_banks(n)
+        .memory_columns([0, n - 1])
+        .build()
+        .expect("preset configuration is valid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +120,18 @@ mod tests {
     fn bank_counts_match_paper() {
         assert_eq!(paper_4x4_r4().memory_banks(), 2);
         assert_eq!(paper_8x8_r4().memory_banks(), 8);
+    }
+
+    #[test]
+    fn big_meshes_build_and_scale() {
+        let ladder = scaling_configs();
+        assert_eq!(ladder.len(), 5);
+        let sizes: Vec<usize> = ladder.iter().map(|(_, c)| c.num_pes()).collect();
+        assert_eq!(sizes, vec![16, 64, 256, 1024, 4096]);
+        for (label, cgra) in &ladder {
+            assert!(cgra.memory_pes().count() > 0, "{label}");
+            assert_eq!(cgra.regs_per_pe(), 4, "{label}");
+        }
+        assert_eq!(mesh64().memory_banks(), 64);
     }
 }

@@ -43,6 +43,22 @@ pub struct CgraSpec {
 }
 
 impl CgraSpec {
+    /// The spec of an `n`×`n` mesh preset in the big-fabric layout
+    /// (`presets::mesh16/32/64`): four registers per PE, one bank per
+    /// row, memory on the outermost columns.
+    pub fn mesh(n: u16) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            regs_per_pe: 4,
+            memory_banks: n,
+            memory_columns: if n > 1 { vec![0, n - 1] } else { vec![0] },
+            torus: false,
+            diagonals: false,
+            cut_row: None,
+        }
+    }
+
     /// Builds the fabric this spec describes.
     ///
     /// # Errors
@@ -192,6 +208,26 @@ impl Default for RandomCgraParams {
             torus_prob: 0.15,
             diagonal_prob: 0.15,
             cut_prob: 0.0,
+        }
+    }
+}
+
+impl RandomCgraParams {
+    /// Parameters sampling big fabrics (12×12 up to 40×40, straddling
+    /// `DistanceOracle::DENSE_PE_LIMIT` from both sides) with occasional
+    /// cut rows, so fuzzing exercises the tiered landmark oracle and the
+    /// lazy occupancy paths, not just the paper-scale meshes.
+    pub fn large_fabric() -> Self {
+        Self {
+            rows: (12, 40),
+            cols: (12, 40),
+            regs_per_pe: (2, 4),
+            memory_prob: 0.9,
+            memory_banks: (4, 16),
+            max_memory_columns: 4,
+            torus_prob: 0.1,
+            diagonal_prob: 0.1,
+            cut_prob: 0.1,
         }
     }
 }
@@ -382,6 +418,45 @@ mod tests {
         assert!("4x4 regs=zz".parse::<CgraSpec>().is_err());
         let err = "nope".parse::<CgraSpec>().unwrap_err();
         assert!(err.to_string().contains("expected RxC"));
+    }
+
+    #[test]
+    fn mesh_spec_matches_the_presets() {
+        for (n, preset) in [
+            (16u16, crate::presets::mesh16()),
+            (32, crate::presets::mesh32()),
+        ] {
+            let built = CgraSpec::mesh(n).build().unwrap();
+            assert_eq!(
+                built.topology_fingerprint(),
+                preset.topology_fingerprint(),
+                "{n}x{n}"
+            );
+            assert_eq!(built.memory_banks(), preset.memory_banks());
+        }
+    }
+
+    #[test]
+    fn large_fabric_params_build_and_cut() {
+        let p = RandomCgraParams::large_fabric();
+        let mut cut = 0;
+        let mut past_dense_limit = 0;
+        for seed in 0..64 {
+            let spec = random_cgra_spec(&p, seed);
+            let cgra = spec.build().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(cgra.num_pes() >= 144, "seed {seed}");
+            if spec.cut_row.is_some() {
+                cut += 1;
+            }
+            if cgra.num_pes() > 256 {
+                past_dense_limit += 1;
+            }
+        }
+        assert!(cut > 0, "no cut fabric in 64 large-fabric seeds");
+        assert!(
+            past_dense_limit > 16,
+            "only {past_dense_limit}/64 fabrics exceed the dense oracle limit"
+        );
     }
 
     #[test]

@@ -1,6 +1,8 @@
-//! Property-based tests of fabric topology construction.
+//! Property-based tests of fabric topology construction, spec round-trips
+//! and fingerprint stability.
 
 use proptest::prelude::*;
+use rewire_arch::random::{random_cgra_spec, CgraSpec, RandomCgraParams};
 use rewire_arch::{CgraBuilder, Coord, Direction};
 
 proptest! {
@@ -89,4 +91,87 @@ proptest! {
         prop_assert!(cgra.pe_at(Coord::new(rows, 0)).is_none());
         prop_assert!(cgra.pe_at(Coord::new(0, cols)).is_none());
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// `Display` → `FromStr` is the identity on big-fabric specs (the
+    /// reproduction artifact format the fuzz corpus and the scaling suite
+    /// both persist), including torus/diagonal wraps and cut rows.
+    #[test]
+    fn big_fabric_spec_display_round_trips(arch_seed in 0u64..512) {
+        let p = RandomCgraParams {
+            cut_prob: 0.3,
+            torus_prob: 0.3,
+            diagonal_prob: 0.3,
+            ..RandomCgraParams::large_fabric()
+        };
+        let spec = random_cgra_spec(&p, arch_seed);
+        let parsed: CgraSpec = spec.to_string().parse().unwrap();
+        prop_assert_eq!(&parsed, &spec, "round-trip through {}", spec);
+    }
+
+    /// The topology fingerprint is a pure function of the spec: two
+    /// independent builds of the same big-fabric spec (16×16 and up, cut
+    /// rows included) agree, and a build of the parsed display string
+    /// agrees with the original.
+    #[test]
+    fn fingerprints_are_stable_across_rebuilds(arch_seed in 0u64..96) {
+        let p = RandomCgraParams {
+            cut_prob: 0.4,
+            ..RandomCgraParams::large_fabric()
+        };
+        let spec = random_cgra_spec(&p, arch_seed);
+        let a = spec.build().unwrap().topology_fingerprint();
+        let b = spec.build().unwrap().topology_fingerprint();
+        prop_assert_eq!(a, b, "rebuild of {} drifted", spec);
+        let reparsed: CgraSpec = spec.to_string().parse().unwrap();
+        prop_assert_eq!(
+            reparsed.build().unwrap().topology_fingerprint(),
+            a,
+            "parsed copy of {} drifted",
+            spec
+        );
+    }
+
+    /// The fuzz shrinker's "reconnect the cut" move: dropping `cut=R`
+    /// restores exactly the links an uncut spec has, so the reconnected
+    /// fingerprint equals the never-cut one — and differs from the cut
+    /// fabric's (the fingerprint must see severed links).
+    #[test]
+    fn reconnecting_a_cut_restores_the_uncut_fingerprint(
+        n in 16u16..24,
+        cut in 1u16..16,
+    ) {
+        let mut spec = CgraSpec::mesh(n);
+        spec.cut_row = Some(cut % (n - 1) + 1);
+        let cut_fp = spec.build().unwrap().topology_fingerprint();
+        // The shrinker's move: same spec, cut reconnected.
+        let mut reconnected = spec.clone();
+        reconnected.cut_row = None;
+        let rec_fp = reconnected.build().unwrap().topology_fingerprint();
+        let uncut_fp = CgraSpec::mesh(n).build().unwrap().topology_fingerprint();
+        prop_assert_eq!(rec_fp, uncut_fp, "reconnect of {} is not the uncut mesh", spec);
+        prop_assert_ne!(cut_fp, uncut_fp, "fingerprint is blind to the cut in {}", spec);
+    }
+}
+
+/// The 16×16/32×16-with-cut display strings the scaling suite and fuzz
+/// artifacts rely on parse to the exact spec, and the `mesh(n)` spec is
+/// fingerprint-identical to the corresponding preset.
+#[test]
+fn mesh_spec_strings_parse_to_the_presets() {
+    let spec: CgraSpec = "16x16 regs=4 banks=16 memcols=0,15".parse().unwrap();
+    assert_eq!(spec, CgraSpec::mesh(16));
+    assert_eq!(
+        spec.build().unwrap().topology_fingerprint(),
+        rewire_arch::presets::mesh16().topology_fingerprint()
+    );
+    let cut: CgraSpec = "16x16 regs=4 banks=16 memcols=0,15 cut=8".parse().unwrap();
+    assert_eq!(cut.cut_row, Some(8));
+    assert_ne!(
+        cut.build().unwrap().topology_fingerprint(),
+        spec.build().unwrap().topology_fingerprint()
+    );
 }

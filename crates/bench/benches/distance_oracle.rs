@@ -1,0 +1,53 @@
+//! Dense vs tiered distance-oracle construction cost as the fabric grows.
+//!
+//! The dense table is one BFS per PE (quadratic in fabric size); the tiered
+//! oracle runs two BFS per 8×8 tile, so its build cost grows linearly with
+//! the PE count. This bench pins the crossover story on 8×8, 16×16 and
+//! 32×32 meshes, plus a correctness gate: on every measured fabric the
+//! tiered bound must be admissible (never above the true distance).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rewire_arch::presets;
+use rewire_mrrg::{DistanceTable, TieredDistance};
+use std::hint::black_box;
+
+fn bench_distance_oracle(c: &mut Criterion) {
+    let fabrics = [
+        ("8x8", presets::paper_8x8_r4()),
+        ("16x16", presets::mesh16()),
+        ("32x32", presets::mesh32()),
+    ];
+
+    // Correctness gate outside the timed loops: the tiered bound is an
+    // admissible lower bound on every fabric this bench measures.
+    for (label, cgra) in &fabrics {
+        let dense = DistanceTable::build(cgra);
+        let tiered = TieredDistance::build(cgra);
+        for dst in cgra.pes() {
+            let row = dense.to_pe(dst.id());
+            for src in cgra.pes() {
+                let exact = row[src.id().index()];
+                let lb = tiered.lower_bound(src.id(), dst.id());
+                assert!(
+                    lb <= exact,
+                    "{label}: tiered bound {lb} exceeds true distance {exact}"
+                );
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("distance_oracle_build");
+    group.sample_size(10);
+    for (label, cgra) in &fabrics {
+        group.bench_function(format!("dense/{label}"), |b| {
+            b.iter(|| black_box(DistanceTable::build(black_box(cgra))))
+        });
+        group.bench_function(format!("tiered/{label}"), |b| {
+            b.iter(|| black_box(TieredDistance::build(black_box(cgra))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance_oracle);
+criterion_main!(benches);

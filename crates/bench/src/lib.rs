@@ -25,4 +25,6 @@ pub use runner::{
     parallel_map, parse_cli, run_workloads, run_workloads_jobs, run_workloads_traced, BenchArgs,
     MapperKind, Row,
 };
-pub use workloads::{fig5_workloads, fig6_workloads, table1_workloads, Workload};
+pub use workloads::{
+    fig5_workloads, fig6_workloads, scaling_workloads, table1_workloads, Workload,
+};

@@ -215,6 +215,11 @@ pub fn render_report(runs: &[RunSummary], snap: Option<&Snapshot>) -> String {
                     span.total_ms()
                 );
             }
+            // Gauges carry point-in-time sizes (fabric PEs, distance-table
+            // bytes) so memory growth is visible next to the timings.
+            for (name, v) in &scope.gauges {
+                let _ = writeln!(out, "    {name:<28} {v:>18} (gauge)");
+            }
         }
     }
     out
@@ -288,13 +293,18 @@ mod tests {
     #[test]
     fn report_joins_metric_scopes() {
         let runs = parse_trace(TRACE).unwrap();
-        let snap_json = r#"{"version":1,"scopes":{"PF*/fir":{"counters":{"pf.rip_ups":9,"router.expansions":4321},"gauges":{},"histograms":{},"spans":{"run":{"count":1,"total_ns":12300000}}}}}"#;
+        let snap_json = r#"{"version":1,"scopes":{"PF*/fir":{"counters":{"pf.rip_ups":9,"router.expansions":4321},"gauges":{"engine.fabric_pes":64,"router.distance_table_bytes":16384},"histograms":{},"spans":{"run":{"count":1,"total_ns":12300000}}}}}"#;
         let snap = load_snapshots(&[("m.json".to_string(), snap_json.to_string())]).unwrap();
         let report = render_report(&runs, Some(&snap));
         assert!(report.contains("4321"), "{report}");
         assert!(report.contains("PF*/fir: II 4"), "{report}");
         assert!(report.contains("time breakdown"), "{report}");
         assert!(report.contains("run"), "{report}");
+        assert!(report.contains("engine.fabric_pes"), "{report}");
+        assert!(
+            report.contains("router.distance_table_bytes") && report.contains("16384"),
+            "{report}"
+        );
     }
 
     #[test]

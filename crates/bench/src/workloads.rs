@@ -122,6 +122,33 @@ pub fn fig6_workloads() -> Vec<Workload> {
         .collect()
 }
 
+/// The fabric-scaling ladder (`scaling` binary, EXPERIMENTS.md §scaling):
+/// every fabric from 4×4 to 64×64 runs a fixed small kernel (`fir`, so the
+/// fabric is the only axis that moves) plus unrolled variants sized to the
+/// fabric, produced through `Dfg::unroll` via the `"<name>(uN)"` lookup.
+/// Budgets grow with the search space the way the 8×8 paper group's does.
+pub fn scaling_workloads() -> Vec<Workload> {
+    presets::scaling_configs()
+        .into_iter()
+        .map(|(label, cgra)| {
+            let (names, budget_scale): (&[&str], f64) = match label {
+                "4x4" => (&["fir", "atax"], 1.0),
+                "8x8" => (&["fir", "fir(u)", "atax(u)"], 3.0),
+                "16x16" => (&["fir", "fir(u4)", "atax(u)"], 6.0),
+                "32x32" => (&["fir", "fir(u)", "atax(u)"], 10.0),
+                "64x64" => (&["fir", "fir(u)", "atax(u)"], 20.0),
+                other => unreachable!("unknown scaling fabric {other}"),
+            };
+            Workload {
+                label,
+                cgra,
+                kernels: by_names(names),
+                budget_scale,
+            }
+        })
+        .collect()
+}
+
 /// Table I's two groups (4×4 with four registers and with one register) and
 /// its eight kernels.
 pub fn table1_workloads() -> Vec<Workload> {
@@ -179,6 +206,23 @@ mod tests {
     fn fig6_uses_the_papers_two_configs() {
         let labels: Vec<_> = fig6_workloads().iter().map(|w| w.label).collect();
         assert_eq!(labels, vec!["8x8 4reg", "4x4 2reg"]);
+    }
+
+    #[test]
+    fn scaling_ladder_covers_4x4_through_64x64() {
+        let workloads = scaling_workloads();
+        let labels: Vec<_> = workloads.iter().map(|w| w.label).collect();
+        assert_eq!(labels, vec!["4x4", "8x8", "16x16", "32x32", "64x64"]);
+        for w in &workloads {
+            for dfg in &w.kernels {
+                assert!(
+                    dfg.mii(&w.cgra).is_some(),
+                    "{} on {}: no MII",
+                    dfg.name(),
+                    w.label
+                );
+            }
+        }
     }
 
     #[test]

@@ -77,10 +77,20 @@ pub fn all() -> Vec<(&'static str, Dfg)> {
 }
 
 /// Looks a kernel up by name. `"<name>(u)"` resolves to the unroll-by-2
-/// variant, following the paper's notation.
+/// variant, following the paper's notation, and `"<name>(uN)"` (e.g.
+/// `"fir(u4)"`) to the unroll-by-`N` variant used by the fabric-scaling
+/// suite — bigger fabrics need proportionally bigger kernels before the
+/// map-time curve measures anything but fixed overhead.
 pub fn by_name(name: &str) -> Option<Dfg> {
     if let Some(base) = name.strip_suffix("(u)") {
         return by_name(base).map(|d| d.unroll(2));
+    }
+    if let Some((base, rest)) = name.split_once("(u") {
+        let factor: u32 = rest.strip_suffix(')').and_then(|f| f.parse().ok())?;
+        if factor >= 2 {
+            return by_name(base).map(|d| d.unroll(factor));
+        }
+        return None;
     }
     all().into_iter().find(|(n, _)| *n == name).map(|(_, d)| d)
 }
@@ -320,6 +330,24 @@ mod tests {
         let u = by_name("lu(u)").unwrap();
         assert_eq!(u.num_nodes(), 2 * by_name("lu").unwrap().num_nodes());
         assert_eq!(u.name(), "lu(u)");
+    }
+
+    #[test]
+    fn by_name_resolves_scaled_unroll_factors() {
+        let base = by_name("fir").unwrap();
+        for factor in [2u32, 4, 8] {
+            let scaled = by_name(&format!("fir(u{factor})")).unwrap();
+            assert_eq!(scaled.num_nodes(), factor as usize * base.num_nodes());
+            assert!(scaled.validate().is_ok(), "factor {factor}");
+        }
+        // `(u2)` and `(u)` are the same transform; only the label differs.
+        assert_eq!(
+            by_name("fir(u2)").unwrap().num_nodes(),
+            by_name("fir(u)").unwrap().num_nodes()
+        );
+        assert!(by_name("fir(u1)").is_none(), "factor below 2 is rejected");
+        assert!(by_name("fir(uX)").is_none());
+        assert!(by_name("nonexistent(u4)").is_none());
     }
 
     #[test]

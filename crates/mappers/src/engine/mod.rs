@@ -189,6 +189,9 @@ impl<'a> IiSearch<'a> {
         // time the per-phase breakdown. Neither feeds back into mapping.
         let _scope = obs::scope(format!("{}/{}", self.name, dfg.name()));
         let run_span = obs::span("run");
+        // Fabric size alongside the run's metrics, so `rewire-report` can
+        // correlate map time and distance-table memory with PE count.
+        obs::gauge("engine.fabric_pes").set(cgra.num_pes() as i64);
         let mut emitter = Emitter::new(
             RunMeta {
                 mapper: self.name,

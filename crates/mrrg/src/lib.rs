@@ -69,7 +69,7 @@ mod resource;
 mod route;
 mod router;
 
-pub use distance::DistanceTable;
+pub use distance::{DistanceBound, DistanceOracle, DistanceTable, TieredDistance};
 pub use graph::Mrrg;
 pub use occupancy::Occupancy;
 pub use resource::Resource;

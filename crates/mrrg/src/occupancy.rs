@@ -5,6 +5,18 @@ use crate::{Mrrg, Resource, Route};
 use rewire_dfg::NodeId;
 use std::sync::Arc;
 
+/// Cells per lazily allocated occupancy chunk.
+///
+/// A 64×64 fabric time-extended at II 20 has on the order of a million
+/// MRRG cells; a mapper that only ever touches a corner of it should not
+/// pay a million-entry allocation per restart (multiplied by the parallel
+/// portfolio's clones). Chunks of 256 cells keep the directory small while
+/// untouched regions stay as `None`.
+const CHUNK: usize = 256;
+
+/// One chunk's cell lists, boxed so an unallocated chunk costs one `None`.
+type Chunk = Box<[Vec<((NodeId, u32), u32)>]>;
+
 /// Occupancy state of every MRRG cell.
 ///
 /// Each cell holds a small list of `((signal, phase), refcount)` pairs,
@@ -42,8 +54,14 @@ pub struct Occupancy {
     // Shared, not owned: cloning an occupancy (once per mapper restart,
     // multiplied by the parallel portfolio) must not duplicate the shape.
     mrrg: Arc<Mrrg>,
-    cells: Vec<Vec<((NodeId, u32), u32)>>,
+    /// Chunked cell directory: `cells[idx / CHUNK]` is `None` until a
+    /// claim first touches that chunk, so untouched rows of a big fabric
+    /// never allocate. Reads treat a missing chunk as all-free.
+    cells: Vec<Option<Chunk>>,
 }
+
+/// The all-free owner list reads of unallocated chunks borrow.
+const NO_OWNERS: &[((NodeId, u32), u32)] = &[];
 
 impl Occupancy {
     /// Creates an all-free occupancy table for `mrrg`.
@@ -54,10 +72,10 @@ impl Occupancy {
     /// Creates an all-free occupancy table sharing an existing MRRG handle
     /// (avoids a per-table copy when the caller already holds one).
     pub fn new_shared(mrrg: Arc<Mrrg>) -> Self {
-        let num_cells = mrrg.num_cells();
+        let num_chunks = mrrg.num_cells().div_ceil(CHUNK);
         Self {
             mrrg,
-            cells: vec![Vec::new(); num_cells],
+            cells: vec![None; num_chunks],
         }
     }
 
@@ -66,11 +84,24 @@ impl Occupancy {
         &self.mrrg
     }
 
+    /// Number of chunks that have been materialised by claims so far —
+    /// the footprint knob the lazy layout exists for.
+    pub fn allocated_chunks(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// The owner list at a dense cell index, materialising its chunk.
+    fn owners_mut(&mut self, idx: usize) -> &mut Vec<((NodeId, u32), u32)> {
+        let chunk = self.cells[idx / CHUNK]
+            .get_or_insert_with(|| vec![Vec::new(); CHUNK].into_boxed_slice());
+        &mut chunk[idx % CHUNK]
+    }
+
     /// Claims one reference of `cell` for `signal` at the given `phase`
     /// (cycles since the signal left its producer; use 0 for FU cells).
     pub fn claim(&mut self, cell: Resource, signal: NodeId, phase: u32) {
         let idx = self.mrrg.index_of(cell);
-        let owners = &mut self.cells[idx];
+        let owners = self.owners_mut(idx);
         if let Some(entry) = owners.iter_mut().find(|(k, _)| *k == (signal, phase)) {
             entry.1 += 1;
         } else {
@@ -86,7 +117,10 @@ impl Occupancy {
     /// be balanced.
     pub fn release(&mut self, cell: Resource, signal: NodeId, phase: u32) {
         let idx = self.mrrg.index_of(cell);
-        let owners = &mut self.cells[idx];
+        let owners = match &mut self.cells[idx / CHUNK] {
+            Some(chunk) => &mut chunk[idx % CHUNK],
+            None => panic!("release of unclaimed {cell} by {signal}@{phase}"),
+        };
         let pos = owners
             .iter()
             .position(|(k, _)| *k == (signal, phase))
@@ -115,12 +149,16 @@ impl Occupancy {
     /// The distinct `(signal, phase)` keys currently on `cell` (with
     /// reference counts).
     pub fn owners(&self, cell: Resource) -> &[((NodeId, u32), u32)] {
-        &self.cells[self.mrrg.index_of(cell)]
+        self.owners_at_index(self.mrrg.index_of(cell))
     }
 
-    /// Owners at a dense cell index (crate-internal fast path).
-    pub(crate) fn owners_at_index(&self, idx: usize) -> &[((NodeId, u32), u32)] {
-        &self.cells[idx]
+    /// Owners at a dense cell index. Reads of unallocated chunks borrow
+    /// the shared empty list.
+    fn owners_at_index(&self, idx: usize) -> &[((NodeId, u32), u32)] {
+        match &self.cells[idx / CHUNK] {
+            Some(chunk) => &chunk[idx % CHUNK],
+            None => NO_OWNERS,
+        }
     }
 
     /// Number of distinct signals on `cell`.
@@ -156,10 +194,13 @@ impl Occupancy {
     }
 
     /// Sum over all cells of `(distinct signals − 1)` — zero iff the
-    /// current state is physically realisable.
+    /// current state is physically realisable. Walks allocated chunks
+    /// only.
     pub fn total_overuse(&self) -> usize {
         self.cells
             .iter()
+            .flatten()
+            .flat_map(|chunk| chunk.iter())
             .map(|owners| owners.len().saturating_sub(1))
             .sum()
     }
@@ -167,11 +208,13 @@ impl Occupancy {
     /// The signals involved in overused cells, deduplicated.
     pub fn overused_signals(&self) -> Vec<NodeId> {
         let mut out = Vec::new();
-        for owners in &self.cells {
-            if owners.len() > 1 {
-                for ((s, _), _) in owners {
-                    if !out.contains(s) {
-                        out.push(*s);
+        for chunk in self.cells.iter().flatten() {
+            for owners in chunk.iter() {
+                if owners.len() > 1 {
+                    for ((s, _), _) in owners {
+                        if !out.contains(s) {
+                            out.push(*s);
+                        }
                     }
                 }
             }
@@ -181,13 +224,36 @@ impl Occupancy {
 
     /// Number of cells carrying at least one signal.
     pub fn used_cells(&self) -> usize {
-        self.cells.iter().filter(|o| !o.is_empty()).count()
+        self.cells
+            .iter()
+            .flatten()
+            .flat_map(|chunk| chunk.iter())
+            .filter(|o| !o.is_empty())
+            .count()
+    }
+
+    /// Calls `f` with the dense index of every overused cell. Skips
+    /// unallocated chunks entirely, so congestion bookkeeping (PathFinder
+    /// history accumulation) costs O(touched fabric), not O(fabric).
+    pub(crate) fn for_each_overused_index(&self, mut f: impl FnMut(usize)) {
+        for (c, chunk) in self.cells.iter().enumerate() {
+            let Some(chunk) = chunk else { continue };
+            for (i, owners) in chunk.iter().enumerate() {
+                if owners.len() > 1 {
+                    f(c * CHUNK + i);
+                }
+            }
+        }
     }
 
     /// Clears every claim (used when a mapper restarts an II attempt).
+    /// Allocated chunks are kept (emptied, not dropped): a restart reuses
+    /// the same fabric region, so re-materialising them would thrash.
     pub fn clear(&mut self) {
-        for owners in &mut self.cells {
-            owners.clear();
+        for chunk in self.cells.iter_mut().flatten() {
+            for owners in chunk.iter_mut() {
+                owners.clear();
+            }
         }
     }
 }
@@ -277,5 +343,69 @@ mod tests {
         assert_eq!(o.used_cells(), 2);
         o.clear();
         assert_eq!(o.used_cells(), 0);
+    }
+
+    #[test]
+    fn chunks_materialise_only_on_claim() {
+        // A big-fabric occupancy allocates nothing up front; reads of the
+        // untouched fabric stay allocation-free, and one claim allocates
+        // exactly one chunk.
+        let cgra = rewire_arch::CgraBuilder::new(64, 64).build().unwrap();
+        let mrrg = Mrrg::new(&cgra, 4);
+        let mut o = Occupancy::new(&mrrg);
+        assert_eq!(o.allocated_chunks(), 0);
+        assert_eq!(o.total_overuse(), 0);
+        assert_eq!(o.used_cells(), 0);
+        let far = Resource::Fu {
+            pe: cgra.pes().last().unwrap().id(),
+            slot: 3,
+        };
+        assert!(o.is_free(far), "reads never allocate");
+        assert!(o.usable_by(far, NodeId::new(0), 0));
+        assert_eq!(o.allocated_chunks(), 0);
+        o.claim(far, NodeId::new(0), 0);
+        assert_eq!(o.allocated_chunks(), 1);
+        assert_eq!(o.used_cells(), 1);
+        o.release(far, NodeId::new(0), 0);
+        assert!(o.is_free(far));
+    }
+
+    #[test]
+    fn clear_keeps_materialised_chunks() {
+        let mut o = occ();
+        o.claim(fu(0, 0), NodeId::new(1), 0);
+        let chunks = o.allocated_chunks();
+        assert!(chunks > 0);
+        o.clear();
+        assert_eq!(o.used_cells(), 0);
+        assert_eq!(o.allocated_chunks(), chunks, "restart reuses chunks");
+    }
+
+    #[test]
+    #[should_panic(expected = "release of unclaimed")]
+    fn release_into_unallocated_chunk_panics() {
+        let cgra = rewire_arch::CgraBuilder::new(16, 16).build().unwrap();
+        let mrrg = Mrrg::new(&cgra, 2);
+        let mut o = Occupancy::new(&mrrg);
+        o.release(
+            Resource::Fu {
+                pe: cgra.pes().last().unwrap().id(),
+                slot: 1,
+            },
+            NodeId::new(3),
+            0,
+        );
+    }
+
+    #[test]
+    fn overused_walk_matches_dense_semantics() {
+        let mut o = occ();
+        let hot = fu(2, 0);
+        o.claim(hot, NodeId::new(0), 0);
+        o.claim(hot, NodeId::new(1), 0);
+        o.claim(fu(0, 1), NodeId::new(2), 0);
+        let mut seen = Vec::new();
+        o.for_each_overused_index(|idx| seen.push(idx));
+        assert_eq!(seen, vec![o.mrrg().index_of(hot)]);
     }
 }

@@ -7,7 +7,8 @@
 //! -programming sweep per layer — no priority queue needed because all
 //! edges advance exactly one layer.
 
-use crate::{DistanceTable, Mrrg, Occupancy, Resource, Route, RouteError, RouteRequest};
+use crate::distance::{DistanceBound, DistanceOracle};
+use crate::{Mrrg, Occupancy, Resource, Route, RouteError, RouteRequest};
 use rewire_arch::{Cgra, PeId};
 use rewire_dfg::NodeId;
 use rewire_obs as obs;
@@ -85,30 +86,16 @@ impl NegotiatedCost {
 
     /// Bumps history on every overused cell in the table (full sweep).
     pub fn accumulate_history_everywhere(&mut self, occ: &Occupancy) {
-        // Walk the dense table through overuse totals: cheap enough at CGRA
-        // scale and avoids materialising all cells.
-        for (idx, h) in self.history.iter_mut().enumerate() {
-            if occ_overused_at(occ, idx) {
-                *h += self.history_increment;
-            }
-        }
+        // Only occupied chunks can hold overuse, so the walk is bounded by
+        // the touched fabric, not its full time-extended size.
+        occ.for_each_overused_index(|idx| {
+            self.history[idx] += self.history_increment;
+        });
     }
 
     /// Current history cost of a cell.
     pub fn history(&self, mrrg: &Mrrg, cell: Resource) -> f64 {
         self.history[mrrg.index_of(cell)]
-    }
-}
-
-fn occ_overused_at(occ: &Occupancy, idx: usize) -> bool {
-    occ.num_signals_at_index(idx) > 1
-}
-
-impl Occupancy {
-    /// Number of distinct signals at a dense cell index (crate-internal
-    /// fast path used by [`NegotiatedCost`]).
-    pub(crate) fn num_signals_at_index(&self, idx: usize) -> usize {
-        self.owners_at_index(idx).len()
     }
 }
 
@@ -136,7 +123,7 @@ impl CostModel for NegotiatedCost {
 pub enum RouterMode {
     /// Sweep a sorted sparse frontier of live states and skip any state
     /// whose PE cannot reach the destination in the remaining steps, using
-    /// the [`DistanceTable`] hop oracle as an admissible lower bound. The
+    /// the [`DistanceOracle`] hop bound as an admissible lower bound. The
     /// default.
     Pruned,
     /// The original dense `0..num_states` sweep. Kept compiled (not just
@@ -232,10 +219,73 @@ impl CellBitset {
     }
 }
 
+/// A DP value row over dense state indices with O(1) whole-row reset.
+///
+/// Resetting the row per layer used to be a `clear(); resize(num_states,
+/// INF)` pair — an O(states) memset that dominates on big fabrics where
+/// only a few hundred of hundreds of thousands of states are ever live.
+/// Instead each entry carries the epoch that last wrote it: `begin` bumps
+/// the epoch (invalidating every entry at once), reads of entries from an
+/// older epoch see infinity, and the storage is allocated once per shape.
+#[derive(Clone, Debug, Default)]
+struct StampedRow {
+    values: Vec<f64>,
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl StampedRow {
+    /// Invalidates the whole row and (re)sizes it for `num_states`.
+    fn begin(&mut self, num_states: usize) {
+        if self.values.len() < num_states {
+            self.values.resize(num_states, f64::INFINITY);
+            self.stamps.resize(num_states, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrap (u32::MAX resets in one scratch lifetime): every
+            // stale stamp could alias the new epoch, so pay one real clear.
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// The entry's value this epoch, or infinity if unwritten.
+    #[inline]
+    fn get(&self, i: usize) -> f64 {
+        if self.stamps[i] == self.epoch {
+            self.values[i]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Writes an entry; returns whether it was unwritten this epoch.
+    #[inline]
+    fn set(&mut self, i: usize, v: f64) -> bool {
+        let first = self.stamps[i] != self.epoch;
+        self.stamps[i] = self.epoch;
+        self.values[i] = v;
+        first
+    }
+}
+
+/// One layer's parent pointer: `(state, previous state, resource consumed)`
+/// — stored only for states that are live in that layer, sorted by state
+/// for binary-searched reconstruction.
+type CompactParent = (u32, u32, Resource);
+
+/// How many distinct fabric topologies one scratch keeps distance oracles
+/// for. Mapping alternates over at most a handful of fabrics at a time
+/// (fuzz differentials pit two, the scaling sweep walks one per size);
+/// beyond that the oldest oracle is evicted instead of the cache growing
+/// with every fabric a long-lived process ever touched.
+const ORACLE_CACHE_CAP: usize = 4;
+
 /// Reusable buffers for the router's layered dynamic program.
 ///
 /// One route call needs an additive per-cell cost overlay, two DP value
-/// rows, and one parent row per path layer. Allocating these per call put
+/// rows, and one parent list per path layer. Allocating these per call put
 /// `malloc` in the innermost loop of PF* negotiation, Rewire verification
 /// and SA evaluation; a scratch instance keeps them alive across calls so
 /// repeated routing does zero steady-state allocation.
@@ -250,15 +300,25 @@ pub struct RouterScratch {
     overlay: Vec<f64>,
     /// Indices of nonzero overlay entries, for O(touched) clearing.
     overlay_touched: Vec<usize>,
-    /// DP value row for the current layer.
-    cur: Vec<f64>,
+    /// DP value row for the current layer (epoch-stamped: resets in O(1)).
+    cur: StampedRow,
     /// DP value row being built for the next layer.
-    next: Vec<f64>,
-    /// Per-layer parent pointers: `(previous state, resource consumed)`.
-    parents: Vec<Vec<(u32, Resource)>>,
+    next: StampedRow,
+    /// Dense parent scratch for the layer being built; only entries whose
+    /// state is live in `next` are meaningful. Compacted into `parents`
+    /// at the end of each layer.
+    parent_state: Vec<u32>,
+    /// Dense parent-resource scratch paired with `parent_state`.
+    parent_res: Vec<Resource>,
+    /// Per-layer compacted parent pointers, one entry per *live* state
+    /// sorted by state id. Replaces the old dense `num_states × len`
+    /// parent matrix, whose resize-and-fill per layer was both the top
+    /// allocation and ~240 MB of traffic on a 64×64 fabric.
+    parents: Vec<Vec<CompactParent>>,
     /// Live (finite-value) states of the current layer, for the pruned
-    /// sparse sweep. Sorted ascending before each layer so relaxation
-    /// order — and therefore every tie-break — matches the dense scan.
+    /// sparse sweep. Sorted ascending at the end of the producing layer so
+    /// relaxation order — and therefore every tie-break — matches the
+    /// dense scan.
     frontier: Vec<u32>,
     /// Live states being collected for the next layer.
     next_frontier: Vec<u32>,
@@ -266,11 +326,12 @@ pub struct RouterScratch {
     seen_cells: CellBitset,
     /// Cells seen at least twice in the candidate route.
     dup_cells: CellBitset,
-    /// Cached hop-distance oracle for the fabric being routed, validated
-    /// against `Cgra::topology_fingerprint` on every route call. Portfolio
-    /// workers receive the parent's table via
-    /// [`install_thread_distance_table`] instead of re-running the BFS.
-    distances: Option<Arc<DistanceTable>>,
+    /// Hop-distance oracles for recently routed fabrics, most recently
+    /// used first, keyed by `Cgra::topology_fingerprint` and bounded at
+    /// [`ORACLE_CACHE_CAP`] entries. Portfolio workers receive the
+    /// parent's oracle via [`install_thread_distance_table`] instead of
+    /// re-running the BFS.
+    oracles: Vec<Arc<DistanceOracle>>,
     /// Cached `router.*` metric handles, re-resolved when the thread's
     /// metric scope changes (`rewire_obs::scope_epoch`). Keeping handles
     /// here turns the per-call metrics flush into a few atomic adds.
@@ -337,24 +398,57 @@ impl RouterScratch {
         self.overlay[idx] += penalty;
     }
 
-    /// The hop-distance oracle for `cgra`, building and caching it on
-    /// first use and rebuilding if the scratch last served a different
-    /// topology (validated via [`Cgra::topology_fingerprint`]).
-    fn distances_for(&mut self, cgra: &Cgra) -> Arc<DistanceTable> {
-        match &self.distances {
-            Some(t) if t.matches(cgra) => Arc::clone(t),
-            _ => {
-                let t = DistanceTable::shared(cgra);
-                self.distances = Some(Arc::clone(&t));
-                t
-            }
+    /// The hop-distance oracle for `cgra`, served from the bounded MRU
+    /// cache (keyed by [`Cgra::topology_fingerprint`]) or built on miss.
+    /// The cache holds at most [`ORACLE_CACHE_CAP`] fabrics: a process
+    /// that maps many distinct fabrics (fuzzing, the scaling sweep)
+    /// evicts the least recently used oracle instead of accreting one
+    /// table per fabric it ever saw.
+    fn distances_for(&mut self, cgra: &Cgra) -> Arc<DistanceOracle> {
+        if let Some(pos) = self.oracles.iter().position(|o| o.matches(cgra)) {
+            // MRU order: move the hit to the front.
+            let hit = self.oracles.remove(pos);
+            self.oracles.insert(0, Arc::clone(&hit));
+            return hit;
         }
+        // Time the BFS sweep as a span: oracle construction is the one
+        // per-fabric quadratic-ish cost left, and the scaling suite reads
+        // this to show it stays sane as fabrics grow.
+        let _build = obs::span("distance_oracle_build");
+        let oracle = DistanceOracle::shared(cgra);
+        self.oracles.insert(0, Arc::clone(&oracle));
+        self.oracles.truncate(ORACLE_CACHE_CAP);
+        self.publish_oracle_bytes();
+        oracle
     }
 
-    /// Installs a prebuilt distance table so this scratch skips the BFS.
-    /// A table for a different fabric is simply evicted on first use.
-    pub fn install_distances(&mut self, table: Arc<DistanceTable>) {
-        self.distances = Some(table);
+    /// Installs a prebuilt distance oracle at the front of the cache so
+    /// this scratch skips the BFS. An oracle for a fabric never routed is
+    /// simply evicted like any other cache entry.
+    pub fn install_distances(&mut self, oracle: Arc<DistanceOracle>) {
+        self.oracles
+            .retain(|o| o.fingerprint() != oracle.fingerprint());
+        self.oracles.insert(0, oracle);
+        self.oracles.truncate(ORACLE_CACHE_CAP);
+        self.publish_oracle_bytes();
+    }
+
+    /// Heap bytes currently held by the scratch's cached distance oracles.
+    pub fn oracle_bytes(&self) -> usize {
+        self.oracles.iter().map(|o| o.heap_bytes()).sum()
+    }
+
+    /// Number of distinct fabrics the oracle cache currently holds.
+    pub fn cached_oracles(&self) -> usize {
+        self.oracles.len()
+    }
+
+    /// Updates the `router.distance_table_bytes` gauge with this thread's
+    /// oracle-cache footprint. Gauges sum across threads, so the reported
+    /// value is the process-wide distance-table memory — the number the
+    /// large-fabric CI smoke caps.
+    fn publish_oracle_bytes(&self) {
+        obs::gauge("router.distance_table_bytes").set(self.oracle_bytes() as i64);
     }
 
     /// Cells appearing more than once in `resources`, each reported once,
@@ -407,23 +501,23 @@ thread_local! {
     static ROUTE_SCRATCH: RefCell<RouterScratch> = RefCell::new(RouterScratch::new());
 }
 
-/// The calling thread's cached [`DistanceTable`] for `cgra`, building it on
-/// first use. Parents of a worker pool call this once, then hand the `Arc`
-/// to each worker via [`install_thread_distance_table`] so the BFS runs
-/// once per fabric instead of once per thread.
-pub fn thread_distance_table(cgra: &Cgra) -> Arc<DistanceTable> {
+/// The calling thread's cached [`DistanceOracle`] for `cgra`, building it
+/// on first use. Parents of a worker pool call this once, then hand the
+/// `Arc` to each worker via [`install_thread_distance_table`] so the BFS
+/// runs once per fabric instead of once per thread.
+pub fn thread_distance_table(cgra: &Cgra) -> Arc<DistanceOracle> {
     ROUTE_SCRATCH.with(|cell| match cell.try_borrow_mut() {
         Ok(mut scratch) => scratch.distances_for(cgra),
-        Err(_) => DistanceTable::shared(cgra),
+        Err(_) => DistanceOracle::shared(cgra),
     })
 }
 
 /// Seeds the calling thread's router scratch with a prebuilt distance
-/// table (see [`thread_distance_table`]).
-pub fn install_thread_distance_table(table: Arc<DistanceTable>) {
+/// oracle (see [`thread_distance_table`]).
+pub fn install_thread_distance_table(oracle: Arc<DistanceOracle>) {
     ROUTE_SCRATCH.with(|cell| {
         if let Ok(mut scratch) = cell.try_borrow_mut() {
-            scratch.install_distances(table);
+            scratch.install_distances(oracle);
         }
     });
 }
@@ -579,6 +673,14 @@ impl<'a> Router<'a> {
     /// arrival scan reads — and sweeping the live frontier in ascending
     /// state order preserves the dense scan's strict-`<` tie-breaks.
     /// Routes are therefore byte-identical across [`RouterMode`]s.
+    ///
+    /// The argument needs only an *admissible* bound, not the exact
+    /// distance: pruning on `lb(p, dst) > budget` with `lb ≤ dist` skips a
+    /// strict subset of the states the exact table would skip, all of them
+    /// provably infeasible. The tiered [`DistanceOracle`] used above
+    /// [`DistanceOracle::DENSE_PE_LIMIT`] PEs therefore preserves
+    /// byte-identical routes too — it just prunes less than the dense
+    /// tier would.
     #[allow(clippy::too_many_arguments)] // internal plumbing for metric tallies
     fn route_attempt(
         &self,
@@ -620,35 +722,44 @@ impl<'a> Router<'a> {
 
         const INF: f64 = f64::INFINITY;
         // The hop oracle is resolved before the scratch is split into
-        // field borrows; the `Arc` keeps the row alive for the sweep.
-        let distances = match self.mode {
+        // field borrows; the `Arc` keeps the bound view alive for the
+        // sweep.
+        let oracle = match self.mode {
             RouterMode::Pruned => Some(scratch.distances_for(self.cgra)),
             RouterMode::Dense => None,
         };
-        let dist_to_dst: Option<&[u32]> = distances.as_deref().map(|d| d.to_pe(req.dst_pe));
+        let bound: Option<DistanceBound<'_>> = oracle.as_deref().map(|o| o.bound_to(req.dst_pe));
         // Split the scratch into disjoint field borrows so the DP can hold
         // the overlay immutably while writing the value/parent rows.
         let RouterScratch {
             overlay,
             cur,
             next,
+            parent_state,
+            parent_res,
             parents,
             frontier,
             next_frontier,
             ..
         } = scratch;
-        cur.clear();
-        cur.resize(num_states, INF);
+        cur.begin(num_states);
         let src_state = encode(req.src_pe.index(), Carrier::Wire);
-        cur[src_state] = 0.0;
+        cur.set(src_state, 0.0);
         frontier.clear();
         frontier.push(src_state as u32);
         frontier_peak.set(frontier_peak.get().max(1));
-        // Dense mode sweeps every state id; only materialised when needed.
-        let dense_states: Vec<u32> = match dist_to_dst {
-            None => (0..num_states as u32).collect(),
-            Some(_) => Vec::new(),
-        };
+        // Dense parent scratch grows to the largest shape seen; entries
+        // are only read for states live in `next`, so no per-layer fill.
+        if parent_state.len() < num_states {
+            parent_state.resize(num_states, u32::MAX);
+            parent_res.resize(
+                num_states,
+                Resource::Fu {
+                    pe: req.src_pe,
+                    slot: 0,
+                },
+            );
+        }
         if parents.len() < len {
             parents.resize(len, Vec::new());
         }
@@ -656,42 +767,35 @@ impl<'a> Router<'a> {
         for (k, parent) in parents.iter_mut().enumerate().take(len) {
             let cycle = req.depart_cycle + k as u32;
             let slot = self.mrrg.slot_of(cycle);
-            next.clear();
-            next.resize(num_states, INF);
-            parent.clear();
-            parent.resize(
-                num_states,
-                (
-                    u32::MAX,
-                    Resource::Fu {
-                        pe: req.src_pe,
-                        slot: 0,
-                    },
-                ),
-            );
+            next.begin(num_states);
             next_frontier.clear();
             // A state expanded here still has `len - k` steps (this move
             // included) plus the optional delivery hop to reach `dst`.
             let hop_budget = (len - k) as u32 + 1;
 
-            let sweep: &[u32] = match dist_to_dst {
-                Some(_) => {
-                    // Ascending state order keeps every tie-break
-                    // identical to the dense scan.
-                    frontier.sort_unstable();
-                    &frontier[..]
-                }
-                None => &dense_states,
+            // Pruned mode sweeps the live frontier (sorted ascending by
+            // the previous layer's compaction); dense mode scans every
+            // state id. Ascending order either way keeps every strict-`<`
+            // tie-break identical across modes.
+            let sweep_len = match bound {
+                Some(_) => frontier.len(),
+                None => num_states,
             };
-            for &swept in sweep {
-                let state = swept as usize;
-                let base = cur[state];
+            // An index loop, not a frontier iterator: in dense mode `i`
+            // IS the state id and the frontier is untouched.
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..sweep_len {
+                let state = match bound {
+                    Some(_) => frontier[i] as usize,
+                    None => i,
+                };
+                let base = cur.get(state);
                 if base == INF {
                     continue; // dense mode only: frontier states are live
                 }
                 let (pe_idx, carrier) = decode(state);
-                if let Some(dist) = dist_to_dst {
-                    if dist[pe_idx] > hop_budget {
+                if let Some(b) = &bound {
+                    if b.get(pe_idx) > hop_budget {
                         pruned.set(pruned.get() + 1);
                         continue;
                     }
@@ -704,18 +808,19 @@ impl<'a> Router<'a> {
                 let mrrg = self.mrrg;
                 let relax = |next_state: usize,
                              res: Resource,
-                             next_vec: &mut Vec<f64>,
-                             parent_vec: &mut Vec<(u32, Resource)>,
+                             next_row: &mut StampedRow,
+                             pstate: &mut Vec<u32>,
+                             pres: &mut Vec<Resource>,
                              live: &mut Vec<u32>| {
                     expansions.set(expansions.get() + 1);
                     if let Some(c) = cost.cell_cost(occ, res, req.signal, k as u32) {
                         let cand = base + c + overlay[mrrg.index_of(res)];
-                        if cand < next_vec[next_state] {
-                            if next_vec[next_state] == INF {
+                        if cand < next_row.get(next_state) {
+                            if next_row.set(next_state, cand) {
                                 live.push(next_state as u32);
                             }
-                            next_vec[next_state] = cand;
-                            parent_vec[next_state] = (state as u32, res);
+                            pstate[next_state] = state as u32;
+                            pres[next_state] = res;
                         }
                     }
                 };
@@ -727,7 +832,7 @@ impl<'a> Router<'a> {
                         slot,
                     };
                     let ns = encode(link.dst().index(), Carrier::Wire);
-                    relax(ns, res, next, parent, next_frontier);
+                    relax(ns, res, next, parent_state, parent_res, next_frontier);
                 }
 
                 match carrier {
@@ -736,7 +841,7 @@ impl<'a> Router<'a> {
                         for r in 0..regs as u8 {
                             let res = Resource::Reg { pe, reg: r, slot };
                             let ns = encode(pe_idx, Carrier::Reg(r, 1));
-                            relax(ns, res, next, parent, next_frontier);
+                            relax(ns, res, next, parent_state, parent_res, next_frontier);
                         }
                     }
                     Carrier::Reg(r, run) => {
@@ -745,14 +850,14 @@ impl<'a> Router<'a> {
                         if run < ii {
                             let res = Resource::Reg { pe, reg: r, slot };
                             let ns = encode(pe_idx, Carrier::Reg(r, run + 1));
-                            relax(ns, res, next, parent, next_frontier);
+                            relax(ns, res, next, parent_state, parent_res, next_frontier);
                         }
                         // Transfer to a sibling register.
                         for r2 in 0..regs as u8 {
                             if r2 != r {
                                 let res = Resource::Reg { pe, reg: r2, slot };
                                 let ns = encode(pe_idx, Carrier::Reg(r2, 1));
-                                relax(ns, res, next, parent, next_frontier);
+                                relax(ns, res, next, parent_state, parent_res, next_frontier);
                             }
                         }
                     }
@@ -760,6 +865,17 @@ impl<'a> Router<'a> {
             }
 
             frontier_peak.set(frontier_peak.get().max(next_frontier.len() as u64));
+            // Compact this layer's parents: one entry per live state,
+            // sorted by state id. The sort doubles as the pre-ordering the
+            // next layer's pruned sweep needs for dense-identical
+            // tie-breaks.
+            next_frontier.sort_unstable();
+            parent.clear();
+            parent.extend(
+                next_frontier
+                    .iter()
+                    .map(|&s| (s, parent_state[s as usize], parent_res[s as usize])),
+            );
             std::mem::swap(cur, next);
             std::mem::swap(frontier, next_frontier);
         }
@@ -778,8 +894,8 @@ impl<'a> Router<'a> {
         let mut best: Option<(f64, usize, Option<Resource>)> = None;
         for c in 0..stride {
             let s = dst * stride + c;
-            if cur[s] < best.map_or(f64::INFINITY, |(b, ..)| b) {
-                best = Some((cur[s], s, None));
+            if cur.get(s) < best.map_or(f64::INFINITY, |(b, ..)| b) {
+                best = Some((cur.get(s), s, None));
             }
         }
         for link in self.cgra.links_to(req.dst_pe) {
@@ -794,7 +910,7 @@ impl<'a> Router<'a> {
             let hop_cost = hop_cost + overlay[self.mrrg.index_of(res)];
             for c in 0..stride {
                 let s = link.src().index() * stride + c;
-                let total = cur[s] + hop_cost;
+                let total = cur.get(s) + hop_cost;
                 if total < best.map_or(f64::INFINITY, |(b, ..)| b) {
                     best = Some((total, s, Some(res)));
                 }
@@ -814,7 +930,11 @@ impl<'a> Router<'a> {
         }
         let mut state = best_state as u32;
         for k in (0..len).rev() {
-            let (prev, res) = parents[k][state as usize];
+            let layer = &parents[k];
+            let idx = layer
+                .binary_search_by_key(&state, |&(s, _, _)| s)
+                .expect("the arrival state is live, so every ancestor is recorded");
+            let (_, prev, res) = layer[idx];
             resources.push(res);
             state = prev;
         }
@@ -1283,15 +1403,49 @@ mod tests {
     #[test]
     fn installed_distance_table_is_reused() {
         let (cgra, _mrrg) = setup(2);
-        let table = DistanceTable::shared(&cgra);
+        let oracle = DistanceOracle::shared(&cgra);
         let mut scratch = RouterScratch::new();
-        scratch.install_distances(Arc::clone(&table));
-        assert!(Arc::ptr_eq(&scratch.distances_for(&cgra), &table));
-        // A table for another fabric is evicted, not trusted.
+        scratch.install_distances(Arc::clone(&oracle));
+        assert!(Arc::ptr_eq(&scratch.distances_for(&cgra), &oracle));
+        // An oracle for another fabric coexists in the cache; the first
+        // one is still served without a rebuild.
         let other = rewire_arch::CgraBuilder::new(2, 2).build().unwrap();
         let rebuilt = scratch.distances_for(&other);
-        assert!(!Arc::ptr_eq(&rebuilt, &table));
+        assert!(!Arc::ptr_eq(&rebuilt, &oracle));
         assert!(rebuilt.matches(&other));
+        assert!(Arc::ptr_eq(&scratch.distances_for(&cgra), &oracle));
+    }
+
+    #[test]
+    fn oracle_cache_is_bounded_with_mru_eviction() {
+        // One distinct topology per grid shape: the cache must stop at its
+        // cap instead of accreting an oracle per fabric ever routed.
+        let mut scratch = RouterScratch::new();
+        let fabrics: Vec<rewire_arch::Cgra> = (0..7)
+            .map(|i| {
+                rewire_arch::CgraBuilder::new(2, 2 + i as u16)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        for cgra in &fabrics {
+            scratch.distances_for(cgra);
+        }
+        assert_eq!(scratch.cached_oracles(), ORACLE_CACHE_CAP);
+        // Most recently used fabrics survive; the earliest were evicted.
+        let last = &fabrics[6];
+        let first = &fabrics[0];
+        let kept = Arc::clone(&scratch.distances_for(last));
+        assert!(kept.matches(last));
+        let rebuilt = scratch.distances_for(first);
+        assert!(
+            rebuilt.matches(first),
+            "evicted fabric is rebuilt on demand"
+        );
+        assert!(scratch.oracle_bytes() > 0);
+        assert_eq!(scratch.cached_oracles(), ORACLE_CACHE_CAP);
+        // Re-requesting the MRU entry returns the very same Arc.
+        assert!(Arc::ptr_eq(&scratch.distances_for(first), &rebuilt));
     }
 
     #[test]

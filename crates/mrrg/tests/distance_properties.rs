@@ -12,7 +12,9 @@ use proptest::prelude::*;
 use rewire_arch::random::{random_cgra_spec, CgraSpec, RandomCgraParams};
 use rewire_arch::PeId;
 use rewire_dfg::NodeId;
-use rewire_mrrg::{DistanceTable, Mrrg, Occupancy, RouteError, RouteRequest, Router, UnitCost};
+use rewire_mrrg::{
+    DistanceTable, Mrrg, Occupancy, RouteError, RouteRequest, Router, TieredDistance, UnitCost,
+};
 
 fn params(cut_prob: f64) -> RandomCgraParams {
     RandomCgraParams {
@@ -99,6 +101,42 @@ proptest! {
                 "d({src_pe},{dst_pe}) = {} exceeds the {}-hop route",
                 d, route.hops()
             );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// Tiered admissibility on large random fabrics — the sizes the
+    /// landmark oracle actually serves, past the dense tier's 256-PE
+    /// limit, with torus/diagonal wraps and a fifth of fabrics cut into
+    /// islands. The bound must never exceed the exact BFS distance; since
+    /// `UNREACHABLE` is `u32::MAX`, the same inequality pins the
+    /// unreachability rules (a spurious `UNREACHABLE` verdict against a
+    /// finite true distance would violate it).
+    #[test]
+    fn tiered_bound_never_exceeds_the_true_distance(arch_seed in 0u64..64) {
+        let p = RandomCgraParams { cut_prob: 0.2, ..RandomCgraParams::large_fabric() };
+        let cgra = random_cgra_spec(&p, arch_seed).build().unwrap();
+        let exact = DistanceTable::build(&cgra);
+        let tiered = TieredDistance::build(&cgra);
+        let n = cgra.num_pes();
+        // All-pairs on 1000+ PEs is too slow unoptimised; stride the
+        // sources, keep full destination coverage.
+        let stride = (n / 48).max(1);
+        for a in (0..n).step_by(stride) {
+            let a = PeId::new(a as u32);
+            for b in 0..n {
+                let b = PeId::new(b as u32);
+                let d = exact.hops(a, b);
+                let lb = tiered.lower_bound(a, b);
+                prop_assert!(
+                    lb <= d,
+                    "lower_bound({a}, {b}) = {lb} exceeds the true distance {d} \
+                     on a {}x{} fabric", cgra.rows(), cgra.cols()
+                );
+            }
         }
     }
 }
