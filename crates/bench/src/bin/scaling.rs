@@ -10,12 +10,13 @@
 //! pinned cap (2 MB — the dense table on 32×32 alone is 4.2 MB, so a
 //! regression to the dense tier past [`DENSE_PE_LIMIT`] trips it).
 //!
-//! Usage: `cargo run -p rewire-bench --release --bin scaling [seconds_per_ii] [--smoke] [--jobs N] [--metrics FILE]`
+//! Usage: `cargo run -p rewire-bench --release --bin scaling [seconds_per_ii] [--smoke] [--jobs N] [--trace FILE] [--metrics FILE]`
 //!
 //! [`DENSE_PE_LIMIT`]: rewire_mrrg::DistanceOracle
 
 use rewire_bench::{run_workloads_traced, scaling_workloads, MapperKind, Workload};
 use rewire_dfg::kernels;
+use rewire_mappers::engine::{JsonlTrace, SharedSink};
 use rewire_mrrg::DistanceOracle;
 use std::process::exit;
 
@@ -29,6 +30,7 @@ struct Args {
     smoke: bool,
     seconds_per_ii: Option<f64>,
     jobs: usize,
+    trace: Option<String>,
     metrics: Option<String>,
 }
 
@@ -39,6 +41,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Args {
         smoke: false,
         seconds_per_ii: None,
         jobs: 1,
+        trace: None,
         metrics: None,
     };
     while let Some(arg) = args.next() {
@@ -51,6 +54,10 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Args {
                 .expect("--jobs needs a positive integer");
         } else if let Some(v) = arg.strip_prefix("--jobs=") {
             parsed.jobs = v.parse().expect("--jobs needs a positive integer");
+        } else if arg == "--trace" {
+            parsed.trace = Some(args.next().expect("--trace needs a file path"));
+        } else if let Some(v) = arg.strip_prefix("--trace=") {
+            parsed.trace = Some(v.to_string());
         } else if arg == "--metrics" {
             parsed.metrics = Some(args.next().expect("--metrics needs a file path"));
         } else if let Some(v) = arg.strip_prefix("--metrics=") {
@@ -59,7 +66,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Args {
             parsed.seconds_per_ii = Some(v);
         } else {
             panic!(
-                "unrecognised argument {arg:?} (expected [seconds_per_ii] [--smoke] [--jobs N] [--metrics FILE])"
+                "unrecognised argument {arg:?} (expected [seconds_per_ii] [--smoke] [--jobs N] [--trace FILE] [--metrics FILE])"
             );
         }
     }
@@ -86,7 +93,15 @@ fn peak_oracle_bytes() -> Option<i64> {
         .max()
 }
 
-fn run_smoke(secs: f64, jobs: usize) {
+fn trace_sink(path: Option<&str>) -> Option<SharedSink> {
+    path.map(|p| {
+        let sink =
+            JsonlTrace::create(p).unwrap_or_else(|e| panic!("cannot create trace file {p}: {e}"));
+        SharedSink::new(sink)
+    })
+}
+
+fn run_smoke(secs: f64, jobs: usize, trace: Option<SharedSink>) {
     let by = |n: &str| kernels::by_name(n).unwrap_or_else(|| panic!("unknown kernel {n}"));
     let workload = Workload {
         label: "32x32",
@@ -100,7 +115,7 @@ fn run_smoke(secs: f64, jobs: usize) {
         &[MapperKind::Rewire],
         secs,
         jobs,
-        None,
+        trace,
         |row| {
             eprintln!(
                 "  {} / {}: II {:?} in {:?}",
@@ -131,7 +146,7 @@ fn run_smoke(secs: f64, jobs: usize) {
     eprintln!("scaling --smoke OK: all kernels mapped, peak oracle bytes {peak} <= {SMOKE_ORACLE_CAP_BYTES}");
 }
 
-fn run_curve(secs: f64, jobs: usize) {
+fn run_curve(secs: f64, jobs: usize, trace: Option<SharedSink>) {
     let workloads = scaling_workloads();
     // Fabric-level facts the result rows don't carry: PE count and the
     // distance-oracle tier/footprint for each rung of the ladder.
@@ -144,12 +159,19 @@ fn run_curve(secs: f64, jobs: usize) {
         })
         .collect();
     eprintln!("scaling: {secs}s per II (scaled per fabric), {jobs} job(s)");
-    let rows = run_workloads_traced(&workloads, &[MapperKind::Rewire], secs, jobs, None, |row| {
-        eprintln!(
-            "  {} / {}: II {:?} in {:?}",
-            row.config, row.kernel, row.results[0].achieved_ii, row.results[0].elapsed
-        );
-    });
+    let rows = run_workloads_traced(
+        &workloads,
+        &[MapperKind::Rewire],
+        secs,
+        jobs,
+        trace,
+        |row| {
+            eprintln!(
+                "  {} / {}: II {:?} in {:?}",
+                row.config, row.kernel, row.results[0].achieved_ii, row.results[0].elapsed
+            );
+        },
+    );
     println!("| Fabric | PEs | Oracle | Oracle heap | Kernel | Nodes | MII | II | Map time |");
     println!("|---|---|---|---|---|---|---|---|---|");
     for row in &rows {
@@ -179,10 +201,11 @@ fn run_curve(secs: f64, jobs: usize) {
 
 fn main() {
     let args = parse_args(std::env::args().skip(1));
+    let trace = trace_sink(args.trace.as_deref());
     if args.smoke {
-        run_smoke(args.seconds_per_ii.unwrap_or(10.0), args.jobs);
+        run_smoke(args.seconds_per_ii.unwrap_or(10.0), args.jobs, trace);
     } else {
-        run_curve(args.seconds_per_ii.unwrap_or(2.0), args.jobs);
+        run_curve(args.seconds_per_ii.unwrap_or(2.0), args.jobs, trace);
     }
     if let Some(path) = &args.metrics {
         write_metrics(path);

@@ -6,15 +6,19 @@
 //! * [`runner`] — runs a set of mappers over workloads and collects rows,
 //! * [`report`] — table/series printers and the summary statistics the
 //!   paper quotes (speedups, optimal/near-optimal counts, time reductions),
-//! * [`obs_report`] — trace/metrics aggregation behind `rewire-report`.
+//! * [`obs_report`] — trace/metrics aggregation behind `rewire-report`,
+//! * [`doctor`] — failure forensics behind `rewire-doctor` (flight-log
+//!   analysis, congestion heatmaps, Chrome-trace validation).
 //!
 //! The binaries `fig5`, `fig6`, `table1` and `repro` regenerate each paper
-//! artefact (all accept `--trace FILE` and `--metrics FILE`); see
-//! `EXPERIMENTS.md` at the workspace root for recorded outputs.
+//! artefact (all accept `--trace FILE`, `--metrics FILE`,
+//! `--chrome-trace FILE` and `--flight FILE`); see `EXPERIMENTS.md` at the
+//! workspace root for recorded outputs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod doctor;
 pub mod obs_report;
 pub mod report;
 pub mod runner;

@@ -220,6 +220,22 @@ pub fn render_report(runs: &[RunSummary], snap: Option<&Snapshot>) -> String {
             for (name, v) in &scope.gauges {
                 let _ = writeln!(out, "    {name:<28} {v:>18} (gauge)");
             }
+            // Histogram tails, estimated from the log2 buckets: the p99 of
+            // e.g. route lengths or attempt times is what regressions show
+            // up in long before the mean moves.
+            for (name, h) in &scope.histograms {
+                let q = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.1}"));
+                let _ = writeln!(
+                    out,
+                    "    {:<28} {:>6}x p50 {:>8} p90 {:>8} p99 {:>8} max {:>8}",
+                    name,
+                    h.count,
+                    q(h.p50()),
+                    q(h.p90()),
+                    q(h.p99()),
+                    h.max.map_or_else(|| "-".to_string(), |m| m.to_string()),
+                );
+            }
         }
     }
     out
@@ -305,6 +321,22 @@ mod tests {
             report.contains("router.distance_table_bytes") && report.contains("16384"),
             "{report}"
         );
+    }
+
+    #[test]
+    fn report_renders_histogram_quantiles() {
+        let runs = parse_trace(TRACE).unwrap();
+        // Values {1, 2, 3, 900}: log2 buckets [(1,1),(2,2),(10,1)]. The
+        // interpolated quantiles are pinned by the snapshot unit tests:
+        // p50 = 2.25, p90 = p99 = 767.5.
+        let snap_json = r#"{"version":1,"scopes":{"PF*/fir":{"counters":{},"gauges":{},"histograms":{"pf.route_len":{"count":4,"sum":906,"min":1,"max":900,"buckets":[[1,1],[2,2],[10,1]]}},"spans":{}}}}"#;
+        let snap = load_snapshots(&[("m.json".to_string(), snap_json.to_string())]).unwrap();
+        let report = render_report(&runs, Some(&snap));
+        assert!(report.contains("pf.route_len"), "{report}");
+        assert!(report.contains("p50"), "{report}");
+        assert!(report.contains("2.2"), "{report}");
+        assert!(report.contains("767.5"), "{report}");
+        assert!(report.contains("900"), "{report}");
     }
 
     #[test]

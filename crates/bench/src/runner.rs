@@ -302,6 +302,11 @@ pub struct BenchArgs {
     /// Kernel-name filter (`--kernels a,b,c`): restrict every workload to
     /// the named kernels. `None` runs the full suite.
     pub kernels: Option<Vec<String>>,
+    /// Chrome `trace_event` JSON file path (`--chrome-trace FILE`), if
+    /// requested. Enables the span collector and the flight recorder.
+    pub chrome_trace: Option<String>,
+    /// Flight-recorder JSON file path (`--flight FILE`), if requested.
+    pub flight: Option<String>,
     /// Router sweep mode (`--router dense|pruned`, default pruned). The
     /// dense mode exists for A/B measurement of the reachability pruning —
     /// outcomes are byte-identical by construction, only the expansion
@@ -343,9 +348,23 @@ impl BenchArgs {
         }
     }
 
-    /// Writes the global metrics registry snapshot to the `--metrics` file,
-    /// if one was requested. Call once, after every run finished. Panics on
-    /// I/O errors for the same fail-fast reason as [`trace_sink`].
+    /// Enables the process-global flight recorder and Chrome span collector
+    /// when their output files were requested. Call once before mapping
+    /// starts ([`parse_cli`] does this automatically).
+    pub fn enable_collectors(&self) {
+        if self.flight.is_some() || self.chrome_trace.is_some() {
+            rewire_obs::flight().enable(0);
+        }
+        if self.chrome_trace.is_some() {
+            rewire_obs::chrome().enable(0);
+        }
+    }
+
+    /// Writes every requested observability artifact: the `--metrics`
+    /// registry snapshot, the `--chrome-trace` span timeline (with flight
+    /// events embedded as instants), and the `--flight` decision log. Call
+    /// once, after every run finished. Panics on I/O errors for the same
+    /// fail-fast reason as [`trace_sink`].
     ///
     /// [`trace_sink`]: BenchArgs::trace_sink
     pub fn write_metrics(&self) {
@@ -355,6 +374,21 @@ impl BenchArgs {
             std::fs::write(path, json)
                 .unwrap_or_else(|e| panic!("cannot write metrics file {path}: {e}"));
             eprintln!("metrics written to {path}");
+        }
+        if let Some(path) = &self.chrome_trace {
+            let flight = rewire_obs::flight().snapshot();
+            let mut json = rewire_obs::chrome().export_json(Some(&flight));
+            json.push('\n');
+            std::fs::write(path, json)
+                .unwrap_or_else(|e| panic!("cannot write chrome trace file {path}: {e}"));
+            eprintln!("chrome trace written to {path}");
+        }
+        if let Some(path) = &self.flight {
+            let mut json = rewire_obs::flight().snapshot().to_json();
+            json.push('\n');
+            std::fs::write(path, json)
+                .unwrap_or_else(|e| panic!("cannot write flight log file {path}: {e}"));
+            eprintln!("flight log written to {path}");
         }
     }
 
@@ -403,6 +437,7 @@ impl BenchArgs {
 pub fn parse_cli(default_secs: f64) -> BenchArgs {
     let parsed = parse_cli_from(std::env::args().skip(1), default_secs);
     rewire_mrrg::set_default_router_mode(parsed.router);
+    parsed.enable_collectors();
     parsed
 }
 
@@ -413,6 +448,8 @@ fn parse_cli_from(args: impl IntoIterator<Item = String>, default_secs: f64) -> 
         trace: None,
         metrics: None,
         kernels: None,
+        chrome_trace: None,
+        flight: None,
         router: rewire_mrrg::default_router_mode(),
     };
     let parse_router = |v: &str| match v {
@@ -444,6 +481,14 @@ fn parse_cli_from(args: impl IntoIterator<Item = String>, default_secs: f64) -> 
             parsed.metrics = Some(args.next().expect("--metrics needs a file path"));
         } else if let Some(v) = arg.strip_prefix("--metrics=") {
             parsed.metrics = Some(v.to_string());
+        } else if arg == "--chrome-trace" {
+            parsed.chrome_trace = Some(args.next().expect("--chrome-trace needs a file path"));
+        } else if let Some(v) = arg.strip_prefix("--chrome-trace=") {
+            parsed.chrome_trace = Some(v.to_string());
+        } else if arg == "--flight" {
+            parsed.flight = Some(args.next().expect("--flight needs a file path"));
+        } else if let Some(v) = arg.strip_prefix("--flight=") {
+            parsed.flight = Some(v.to_string());
         } else if arg == "--kernels" {
             parsed.kernels = Some(parse_kernels(
                 &args.next().expect("--kernels needs a comma-separated list"),
@@ -458,7 +503,7 @@ fn parse_cli_from(args: impl IntoIterator<Item = String>, default_secs: f64) -> 
             parsed.seconds_per_ii = v;
         } else {
             panic!(
-                "unrecognised argument {arg:?} (expected [seconds_per_ii] [--jobs N] [--trace FILE] [--metrics FILE] [--kernels a,b] [--router dense|pruned])"
+                "unrecognised argument {arg:?} (expected [seconds_per_ii] [--jobs N] [--trace FILE] [--metrics FILE] [--chrome-trace FILE] [--flight FILE] [--kernels a,b] [--router dense|pruned])"
             );
         }
     }
@@ -586,6 +631,30 @@ mod tests {
             parse_cli_from([arg("--kernels=fir, atax,")], 2.0).kernels,
             Some(vec!["fir".to_string(), "atax".to_string()]),
             "whitespace and empty segments are dropped"
+        );
+    }
+
+    #[test]
+    fn cli_parsing_accepts_chrome_trace_and_flight() {
+        let arg = |s: &str| s.to_string();
+        let base = parse_cli_from([], 2.0);
+        assert_eq!(base.chrome_trace, None);
+        assert_eq!(base.flight, None);
+        assert_eq!(
+            parse_cli_from([arg("--chrome-trace"), arg("t.json")], 2.0).chrome_trace,
+            Some("t.json".to_string())
+        );
+        assert_eq!(
+            parse_cli_from([arg("--chrome-trace=out/t.json")], 2.0).chrome_trace,
+            Some("out/t.json".to_string())
+        );
+        assert_eq!(
+            parse_cli_from([arg("--flight"), arg("f.json")], 2.0).flight,
+            Some("f.json".to_string())
+        );
+        assert_eq!(
+            parse_cli_from([arg("--flight=out/f.json")], 2.0).flight,
+            Some("out/f.json".to_string())
         );
     }
 

@@ -16,7 +16,7 @@ use rewire_mappers::engine::{
     Silent,
 };
 use rewire_mappers::{MapLimits, MapOutcome, Mapper, Mapping, PathFinderMapper};
-use rewire_obs as obs;
+use rewire_obs::{self as obs, FlightEvent};
 use std::time::Instant;
 
 /// Mirrors the growth of [`RewireStats`] between two snapshots into the
@@ -592,6 +592,10 @@ impl IiAttempt for RewireAttempt<'_> {
         events: &mut Emitter<'_>,
     ) -> AttemptOutcome {
         let ii = ctx.ii;
+        obs::flight_event(FlightEvent::AttemptPhase {
+            phase: "initial",
+            ii,
+        });
         let initial = {
             let _initial_span = obs::span("initial");
             self.pf.initial_mapping(dfg, cgra, ii, ctx.limits.seed)
@@ -613,6 +617,7 @@ impl IiAttempt for RewireAttempt<'_> {
         // exploration budget.
         let before = self.rstats.clusters_attempted;
         let stats_before = self.rstats;
+        obs::flight_event(FlightEvent::AttemptPhase { phase: "amend", ii });
         let amended = {
             let _amend_span = obs::span("amend");
             if self.mapper.config.portfolio_width > 1 {

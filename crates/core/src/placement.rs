@@ -15,6 +15,7 @@ use rewire_arch::Cgra;
 use rewire_dfg::{Dfg, EdgeId, NodeId};
 use rewire_mappers::Mapping;
 use rewire_mrrg::{Router, UnitCost};
+use rewire_obs::{self as obs, FlightEvent};
 use std::time::Instant;
 
 /// Algorithm 2: searches for a routable placement of a whole cluster.
@@ -283,6 +284,12 @@ impl<'a> ClusterPlacer<'a> {
                     routed.push(*e);
                 }
                 Err(err) => {
+                    let ed = self.dfg.edge(*e);
+                    obs::flight_event(FlightEvent::RouteFailed {
+                        edge: (ed.src().index() as u32, ed.dst().index() as u32),
+                        ii: mapping.ii(),
+                        reason: err.label(),
+                    });
                     if std::env::var_os("REWIRE_VDEBUG").is_some() && stats.verifications <= 40 {
                         eprintln!("    verify fail: {err}");
                     }

@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng};
 use rewire_arch::Cgra;
 use rewire_dfg::{Dfg, EdgeId, NodeId};
 use rewire_mrrg::{Mrrg, NegotiatedCost, Route, Router};
-use rewire_obs as obs;
+use rewire_obs::{self as obs, FlightEvent};
 use std::time::Instant;
 
 /// Configuration of the SA baseline.
@@ -124,8 +124,16 @@ impl SaMapper {
             if req.num_steps().is_none() {
                 continue; // timing violation: stays unrouted, penalised
             }
-            if let Ok(route) = router.route(mapping.occupancy(), &req, cost) {
-                mapping.set_route(e, route);
+            match router.route(mapping.occupancy(), &req, cost) {
+                Ok(route) => mapping.set_route(e, route),
+                Err(err) => {
+                    let ed = dfg.edge(e);
+                    obs::flight_event(FlightEvent::RouteFailed {
+                        edge: (ed.src().index() as u32, ed.dst().index() as u32),
+                        ii: mapping.ii(),
+                        reason: err.label(),
+                    });
+                }
             }
         }
     }

@@ -32,7 +32,68 @@ use crate::{MapLimits, MapOutcome, MapStats, Mapping};
 use rewire_arch::Cgra;
 use rewire_dfg::Dfg;
 use rewire_obs as obs;
-use std::time::Instant;
+use rewire_obs::FlightEvent;
+use std::time::{Duration, Instant};
+
+/// The engine's passive stall watchdog.
+///
+/// No watchdog thread — a thread would observe wall-clock state
+/// nondeterministically and could never be byte-identical-safe. Instead the
+/// engine stamps a flight-recorder heartbeat at every attempt boundary and,
+/// when an attempt *returns*, checks how far it overshot its deadline. An
+/// overshoot beyond [`StallWatchdog::GRACE`] is a stall: the attempt sat
+/// inside one inner iteration long past the budget — exactly the runtime
+/// cliff the forensics pipeline exists to explain. Stalls are counted
+/// (`engine.stalls`) and stamped into the flight record; nothing feeds back
+/// into the search.
+struct StallWatchdog {
+    /// Deadline overshoot tolerated before an attempt counts as stalled.
+    grace: Duration,
+}
+
+impl StallWatchdog {
+    /// Overshoot tolerance: attempts legitimately finish their current
+    /// inner iteration after the deadline, so only a 2× blowup (relative
+    /// to a floor of 50 ms for tiny budgets) is flagged.
+    fn new(ii_budget: Duration) -> Self {
+        Self {
+            grace: ii_budget.max(Duration::from_millis(50)),
+        }
+    }
+
+    /// Heartbeat: the engine is about to hand control to an attempt.
+    fn attempt_started(&self, ii: u32) {
+        obs::flight_event(FlightEvent::AttemptPhase {
+            phase: "attempt_start",
+            ii,
+        });
+    }
+
+    /// Heartbeat: the attempt returned. Flags a stall if control came
+    /// back long after the deadline passed.
+    fn attempt_finished(&self, ii: u32, routed: bool, deadline: Instant) {
+        obs::flight_event(FlightEvent::AttemptPhase {
+            phase: if routed { "attempt_ok" } else { "attempt_fail" },
+            ii,
+        });
+        let overshoot = Instant::now().saturating_duration_since(deadline);
+        if overshoot > self.grace {
+            obs::counter("engine.stalls").incr();
+            obs::flight_event(FlightEvent::AttemptPhase {
+                phase: "stall_detected",
+                ii,
+            });
+        }
+    }
+
+    /// Terminal heartbeat: the run is over. On failure this is the drain
+    /// marker — export readers (the Chrome exporter merges the flight ring
+    /// as instant events, `--flight` writes it verbatim) see the full
+    /// decision record up to this stamp.
+    fn run_ended(&self, phase: &'static str, ii: u32) {
+        obs::flight_event(FlightEvent::AttemptPhase { phase, ii });
+    }
+}
 
 /// The emitting half handed to attempts: a sink plus the run's identity.
 ///
@@ -190,8 +251,12 @@ impl<'a> IiSearch<'a> {
         let _scope = obs::scope(format!("{}/{}", self.name, dfg.name()));
         let run_span = obs::span("run");
         // Fabric size alongside the run's metrics, so `rewire-report` can
-        // correlate map time and distance-table memory with PE count.
+        // correlate map time and distance-table memory with PE count, and
+        // the doctor can draw the fabric grid (PE ids are row-major).
         obs::gauge("engine.fabric_pes").set(cgra.num_pes() as i64);
+        obs::gauge("engine.fabric_rows").set(i64::from(cgra.rows()));
+        obs::gauge("engine.fabric_cols").set(i64::from(cgra.cols()));
+        let watchdog = StallWatchdog::new(limits.ii_time_budget);
         let mut emitter = Emitter::new(
             RunMeta {
                 mapper: self.name,
@@ -218,6 +283,7 @@ impl<'a> IiSearch<'a> {
                 elapsed_us: stats.elapsed.as_micros(),
             });
             obs::counter("engine.gave_up").incr();
+            watchdog.run_ended("gave_up_no_mii", 0);
             drop(run_span);
             return MapOutcome {
                 mapping: None,
@@ -238,6 +304,7 @@ impl<'a> IiSearch<'a> {
                         elapsed_us: stats.elapsed.as_micros(),
                     });
                     obs::counter("engine.gave_up").incr();
+                    watchdog.run_ended("gave_up_total_budget", ii);
                     drop(run_span);
                     return MapOutcome {
                         mapping: None,
@@ -259,12 +326,15 @@ impl<'a> IiSearch<'a> {
                 seed: worker_seed(limits.seed, ii, 0),
                 limits,
             };
+            obs::counter("engine.attempts").incr();
+            watchdog.attempt_started(ii);
             let attempt_start = Instant::now();
             let outcome = {
                 let _attempt_span = obs::span("attempt");
                 attempt.attempt(dfg, cgra, &ctx, &mut emitter)
             };
             let attempt_elapsed = attempt_start.elapsed();
+            watchdog.attempt_finished(ii, outcome.mapping.is_some(), deadline);
             obs::histogram("engine.attempt_us")
                 .record(u64::try_from(attempt_elapsed.as_micros()).unwrap_or(u64::MAX));
             stats.remap_iterations += outcome.iterations;
@@ -287,6 +357,7 @@ impl<'a> IiSearch<'a> {
                     elapsed_us: stats.elapsed.as_micros(),
                 });
                 obs::counter("engine.mapped").incr();
+                watchdog.run_ended("mapped", ii);
                 drop(run_span);
                 return MapOutcome {
                     mapping: Some(m),
@@ -303,6 +374,7 @@ impl<'a> IiSearch<'a> {
             elapsed_us: stats.elapsed.as_micros(),
         });
         obs::counter("engine.gave_up").incr();
+        watchdog.run_ended("gave_up_max_ii", limits.max_ii);
         drop(run_span);
         MapOutcome {
             mapping: None,

@@ -26,7 +26,7 @@ use rand::{Rng, SeedableRng};
 use rewire_arch::{Cgra, PeId};
 use rewire_dfg::{Dfg, EdgeId, NodeId};
 use rewire_mrrg::{CostModel, Mrrg, NegotiatedCost, Resource, Router};
-use rewire_obs as obs;
+use rewire_obs::{self as obs, FlightEvent};
 use std::time::Instant;
 
 /// Configuration of the PF* baseline.
@@ -187,6 +187,28 @@ impl PathFinderMapper {
                     ill_nodes: ill_count,
                     overuse: mapping.total_overuse() as u64,
                 });
+                // Forensics sampling rides the same cadence: one heatmap
+                // pass over the overused cells plus the round's peak cell.
+                let flight = obs::flight();
+                if flight.is_enabled() {
+                    let mut peak: Option<((u32, &'static str, u32), u64)> = None;
+                    mapping.occupancy().for_each_overused(|cell, excess| {
+                        let key = cell.forensics_key(cgra);
+                        flight.heat(key.0, key.1, key.2, excess);
+                        if peak.is_none_or(|(_, p)| excess > p) {
+                            peak = Some((key, excess));
+                        }
+                    });
+                    if let Some(((pe, class, cycle), overuse)) = peak {
+                        flight.record(FlightEvent::CongestionPeak {
+                            pe,
+                            class,
+                            cycle,
+                            overuse,
+                            round: iterations,
+                        });
+                    }
+                }
             }
             if ill_count < best_ill {
                 best_ill = ill_count;
@@ -233,6 +255,14 @@ impl PathFinderMapper {
                 if mapping.is_placed(p) {
                     mapping.unplace(dfg, p);
                 }
+            }
+            if let Some((pe, t_v)) = mapping.placement(victim) {
+                obs::flight_event(FlightEvent::RipUp {
+                    pe: pe.index() as u32,
+                    class: "fu",
+                    cycle: mapping.mrrg().slot_of(t_v),
+                    round: iterations,
+                });
             }
             mapping.unplace(dfg, victim);
             m_rip_ups.incr();
@@ -476,6 +506,12 @@ impl PathFinderMapper {
                         .map(|((s, _), _)| *s)
                         .collect();
                     obs::counter("pf.evictions").add(occupants.len() as u64);
+                    obs::flight_event(FlightEvent::Eviction {
+                        pe: pe.index() as u32,
+                        cycle: mapping.mrrg().slot_of(t),
+                        victims: occupants.len() as u32,
+                        ii,
+                    });
                     for n in occupants {
                         mapping.unplace(dfg, n);
                     }
@@ -499,7 +535,15 @@ impl PathFinderMapper {
                     };
                     match router.route(mapping.occupancy(), &req, cost) {
                         Ok(r) => mapping.set_route(e, r),
-                        Err(_) => failed = true,
+                        Err(err) => {
+                            let ed = dfg.edge(e);
+                            obs::flight_event(FlightEvent::RouteFailed {
+                                edge: (ed.src().index() as u32, ed.dst().index() as u32),
+                                ii,
+                                reason: err.label(),
+                            });
+                            failed = true;
+                        }
                     }
                 }
                 if failed {

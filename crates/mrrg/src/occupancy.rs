@@ -232,6 +232,23 @@ impl Occupancy {
             .count()
     }
 
+    /// Calls `f` with every overused cell and its excess signal count
+    /// (`distinct signals − 1`). Walks allocated chunks only, like
+    /// [`Occupancy::total_overuse`]. This is the congestion-heatmap feed:
+    /// forensic sampling needs the `Resource` identity of each hot cell,
+    /// not just the total.
+    pub fn for_each_overused(&self, mut f: impl FnMut(Resource, u64)) {
+        for (c, chunk) in self.cells.iter().enumerate() {
+            let Some(chunk) = chunk else { continue };
+            for (i, owners) in chunk.iter().enumerate() {
+                if owners.len() > 1 {
+                    let idx = c * CHUNK + i;
+                    f(self.mrrg.resource_of(idx), (owners.len() - 1) as u64);
+                }
+            }
+        }
+    }
+
     /// Calls `f` with the dense index of every overused cell. Skips
     /// unallocated chunks entirely, so congestion bookkeeping (PathFinder
     /// history accumulation) costs O(touched fabric), not O(fabric).
@@ -407,5 +424,18 @@ mod tests {
         let mut seen = Vec::new();
         o.for_each_overused_index(|idx| seen.push(idx));
         assert_eq!(seen, vec![o.mrrg().index_of(hot)]);
+    }
+
+    #[test]
+    fn public_overused_walk_yields_resources_and_excess() {
+        let mut o = occ();
+        let hot = fu(2, 0);
+        o.claim(hot, NodeId::new(0), 0);
+        o.claim(hot, NodeId::new(1), 0);
+        o.claim(hot, NodeId::new(2), 0);
+        o.claim(fu(0, 1), NodeId::new(3), 0);
+        let mut seen = Vec::new();
+        o.for_each_overused(|res, excess| seen.push((res, excess)));
+        assert_eq!(seen, vec![(hot, 2)]);
     }
 }

@@ -60,6 +60,26 @@ impl Resource {
     pub fn is_fu(&self) -> bool {
         matches!(self, Resource::Fu { .. })
     }
+
+    /// Resource class label for forensics: `"fu"`, `"link"`, or `"reg"`.
+    pub fn class(&self) -> &'static str {
+        match self {
+            Resource::Fu { .. } => "fu",
+            Resource::Link { .. } => "link",
+            Resource::Reg { .. } => "reg",
+        }
+    }
+
+    /// The `(pe, class, cycle)` key the flight recorder's congestion
+    /// heatmap uses. Links are attributed to their *source* PE (the PE
+    /// whose output port contends), which needs the owning fabric.
+    pub fn forensics_key(&self, cgra: &rewire_arch::Cgra) -> (u32, &'static str, u32) {
+        let pe = match *self {
+            Resource::Fu { pe, .. } | Resource::Reg { pe, .. } => pe,
+            Resource::Link { link, .. } => cgra.link(link).src(),
+        };
+        (pe.index() as u32, self.class(), self.slot())
+    }
 }
 
 impl fmt::Display for Resource {
@@ -97,6 +117,32 @@ mod tests {
         assert_eq!(fu.slot(), 1);
         assert_eq!(link.slot(), 0);
         assert_eq!(reg.slot(), 2);
+    }
+
+    #[test]
+    fn forensics_keys_attribute_links_to_their_source_pe() {
+        let cgra = rewire_arch::presets::paper_4x4_r4();
+        let fu = Resource::Fu {
+            pe: PeId::new(5),
+            slot: 2,
+        };
+        assert_eq!(fu.forensics_key(&cgra), (5, "fu", 2));
+        let reg = Resource::Reg {
+            pe: PeId::new(3),
+            reg: 0,
+            slot: 1,
+        };
+        assert_eq!(reg.forensics_key(&cgra), (3, "reg", 1));
+        let link = cgra.links().next().unwrap();
+        let cell = Resource::Link {
+            link: link.id(),
+            slot: 0,
+        };
+        assert_eq!(
+            cell.forensics_key(&cgra),
+            (link.src().index() as u32, "link", 0)
+        );
+        assert_eq!(cell.class(), "link");
     }
 
     #[test]

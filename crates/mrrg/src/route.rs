@@ -140,6 +140,18 @@ pub enum RouteError {
     },
 }
 
+impl RouteError {
+    /// Short static label for forensics (flight-recorder `RouteFailed`
+    /// events tag failures with this, so the doctor can rank reasons
+    /// without string parsing).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouteError::NegativeLength { .. } => "negative_length",
+            RouteError::NoPath { .. } => "no_path",
+        }
+    }
+}
+
 impl fmt::Display for RouteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -45,14 +45,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod flight;
 mod hist;
 pub mod json;
 mod registry;
 mod snapshot;
+mod trace;
 
+pub use flight::{
+    FlightEvent, FlightLog, FlightRecord, FlightRecorder, HeatCell, DEFAULT_FLIGHT_CAPACITY,
+};
 pub use hist::{Histogram, NUM_BUCKETS};
 pub use registry::{Counter, Gauge, Registry, ScopeGuard, ScopedTimer};
 pub use snapshot::{HistogramSnapshot, ScopeSnapshot, Snapshot, SpanSnapshot};
+pub use trace::{ChromeTrace, DEFAULT_TRACE_CAPACITY};
 
 use std::sync::OnceLock;
 
@@ -116,4 +122,28 @@ pub fn span_under(parent: &str, name: &str) -> ScopedTimer<'static> {
 /// pass it to [`span_under`] so their spans nest consistently.
 pub fn current_span_path() -> String {
     metrics().current_span_path()
+}
+
+/// The process-wide flight recorder (disabled until
+/// [`FlightRecorder::enable`] is called). The mappers and engine record
+/// decision events into this instance; `--flight FILE` on the experiment
+/// binaries enables it and writes [`FlightRecorder::snapshot`] at exit.
+pub fn flight() -> &'static FlightRecorder {
+    static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+    GLOBAL.get_or_init(FlightRecorder::default)
+}
+
+/// Records one decision event on the global [`flight`] recorder under the
+/// calling thread's current scope. One relaxed atomic load when disabled.
+pub fn flight_event(event: FlightEvent) {
+    flight().record(event);
+}
+
+/// The process-wide Chrome trace collector (disabled until
+/// [`ChromeTrace::enable`] is called). Every span on every registry feeds
+/// it while enabled; `--chrome-trace FILE` on the experiment binaries
+/// enables it and writes [`ChromeTrace::export_json`] at exit.
+pub fn chrome() -> &'static ChromeTrace {
+    static GLOBAL: OnceLock<ChromeTrace> = OnceLock::new();
+    GLOBAL.get_or_init(ChromeTrace::default)
 }

@@ -209,11 +209,19 @@ impl Registry {
 
     fn start_span(&self, path: String) -> ScopedTimer<'_> {
         self.with_state(|s| s.span_stack.push(path.clone()));
+        let scope = self.current_scope();
+        // Observe-only side channel: when the Chrome trace collector is on,
+        // every span boundary also lands in its buffer. `traced` remembers
+        // whether the `B` was actually buffered so the drop handler emits
+        // the matching `E` exactly then — the balance invariant the
+        // exporter relies on.
+        let traced = crate::chrome().begin(&path, &scope);
         ScopedTimer {
             registry: self,
-            scope: self.current_scope(),
+            scope,
             path,
             start: Instant::now(),
+            traced,
         }
     }
 
@@ -283,6 +291,9 @@ pub struct ScopedTimer<'r> {
     scope: String,
     path: String,
     start: Instant,
+    /// Whether the Chrome trace collector buffered this span's `B` event
+    /// (and therefore must receive the matching `E` on drop).
+    traced: bool,
 }
 
 impl ScopedTimer<'_> {
@@ -296,6 +307,9 @@ impl Drop for ScopedTimer<'_> {
     fn drop(&mut self) {
         let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.registry.finish_span(&self.scope, &self.path, ns);
+        if self.traced {
+            crate::chrome().end(&self.path, &self.scope);
+        }
     }
 }
 

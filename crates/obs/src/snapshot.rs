@@ -58,6 +58,54 @@ impl HistogramSnapshot {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the log2 buckets.
+    ///
+    /// The quantile *rank* is `ceil(q × count)` clamped to `[1, count]`
+    /// (the nearest-rank definition). The rank's bucket is located by a
+    /// cumulative walk, and the value is interpolated linearly at the
+    /// rank's midpoint within the bucket's `[lo, hi]` range:
+    /// `lo + (hi − lo) × (rank_into_bucket − 0.5) / bucket_count`,
+    /// clamped to the histogram's recorded `[min, max]` so an estimate can
+    /// never leave the observed range. Returns `None` for an empty
+    /// histogram or a `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(i, c) in &self.buckets {
+            if seen + c >= rank {
+                let lo = crate::Histogram::bucket_lo(i) as f64;
+                let hi = crate::Histogram::bucket_hi(i) as f64;
+                let into = (rank - seen) as f64; // 1-based rank inside the bucket
+                let v = lo + (hi - lo) * ((into - 0.5) / c as f64);
+                let min = self.min.unwrap_or(0) as f64;
+                let max = self.max.unwrap_or(u64::MAX) as f64;
+                return Some(v.clamp(min, max));
+            }
+            seen += c;
+        }
+        // Bucket counts can undercount `count` only if both saturated;
+        // fall back to the recorded maximum.
+        self.max.map(|m| m as f64)
+    }
+
+    /// Median estimate ([`HistogramSnapshot::quantile`] at 0.5).
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
     /// Folds another histogram into this one (saturating sums; min/max
     /// widen).
     pub fn merge(&mut self, other: &HistogramSnapshot) {
@@ -419,6 +467,67 @@ mod tests {
         assert_eq!(h.count, 8);
         assert_eq!(h.mean(), Some(1812.0 / 8.0));
         assert_eq!(a.scopes["PF*/fir"].spans["run"].count, 2);
+    }
+
+    /// Pins the quantile-from-log2-bucket math: nearest-rank bucket
+    /// lookup, midpoint interpolation inside the bucket, and clamping to
+    /// the recorded min/max.
+    #[test]
+    fn quantiles_from_log2_buckets() {
+        // Values {1, 2, 3, 900}: buckets 1 (count 1), 2 (count 2: values
+        // in [2,3]), 10 (count 1: [512,1023]).
+        let h = HistogramSnapshot {
+            count: 4,
+            sum: 906,
+            min: Some(1),
+            max: Some(900),
+            buckets: vec![(1, 1), (2, 2), (10, 1)],
+        };
+        // p50: rank = ceil(0.5·4) = 2 → bucket 2 (seen 1, into 1 of 2):
+        // 2 + (3−2)·(0.5/2) = 2.25.
+        assert_eq!(h.p50(), Some(2.25));
+        // p90: rank = ceil(3.6) = 4 → bucket 10 (into 1 of 1): midpoint
+        // 512 + 511·0.5 = 767.5, inside [min,max] so unclamped.
+        assert_eq!(h.p90(), Some(767.5));
+        assert_eq!(h.p99(), Some(767.5), "same rank at count 4");
+        // p0 / p100 clamp to the bucket walk's extremes.
+        assert_eq!(h.quantile(0.0), Some(1.0), "rank clamps to 1");
+        assert_eq!(h.quantile(1.0), Some(767.5));
+        // Single-value histogram: every quantile is that value (the
+        // min/max clamp collapses the bucket range).
+        let one = HistogramSnapshot {
+            count: 3,
+            sum: 15,
+            min: Some(5),
+            max: Some(5),
+            buckets: vec![(3, 3)],
+        };
+        for q in [0.01, 0.5, 0.99] {
+            assert_eq!(one.quantile(q), Some(5.0));
+        }
+        // Degenerate inputs.
+        assert_eq!(HistogramSnapshot::default().p50(), None);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.1), None);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut snap = HistogramSnapshot::default();
+        let r = Registry::new();
+        let hist = r.histogram_in("s", "h");
+        for v in 0..=1000u64 {
+            hist.record(v * v % 7919);
+        }
+        snap.merge(&r.snapshot().scopes["s"].histograms["h"]);
+        let mut last = f64::MIN;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = snap.quantile(q).unwrap();
+            assert!(v >= last, "quantile({q}) = {v} < {last}");
+            assert!(v >= snap.min.unwrap() as f64 && v <= snap.max.unwrap() as f64);
+            last = v;
+        }
     }
 
     #[test]

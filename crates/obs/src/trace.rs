@@ -1,0 +1,319 @@
+//! Chrome `trace_event` export for the span-timer tree.
+//!
+//! The registry's span timers aggregate `count + total_ns` per path — good
+//! for tables, useless for *seeing* where one slow run spent its time. This
+//! module adds an opt-in process-global [`ChromeTrace`] collector: when
+//! enabled, every span begin/end on any registry also appends a `B`/`E`
+//! event with a per-thread id and a microsecond timestamp, and
+//! [`ChromeTrace::export_json`] renders the buffer as a Chrome
+//! `trace_event` JSON document loadable in Perfetto or `chrome://tracing`.
+//! Flight-recorder events ride along as instant (`"ph":"i"`) events so the
+//! decision record and the time profile land on one timeline.
+//!
+//! Balance guarantee: the exporter never emits an unmatched `B` or `E`.
+//! A span whose `B` was dropped (buffer full, or tracing enabled mid-span)
+//! records no `E` (the [`crate::ScopedTimer`] carries a `traced` flag), and
+//! the export pass additionally filters any residual unmatched events with
+//! a per-thread stack, so the output always validates.
+
+use crate::flight::{epoch_us, FlightEvent, FlightLog};
+use crate::json;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default span-event buffer capacity when [`ChromeTrace::enable`] is
+/// given 0.
+pub const DEFAULT_TRACE_CAPACITY: usize = 262_144;
+
+thread_local! {
+    /// Small dense per-thread id for the `tid` field (thread 0 is reserved
+    /// for flight instant events).
+    static TRACE_TID: u64 = {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+/// One buffered span boundary.
+#[derive(Clone, Debug)]
+struct SpanEvent {
+    /// `b'B'` or `b'E'`.
+    phase: u8,
+    /// Full hierarchical span path (`"run/attempt"`).
+    name: String,
+    /// Metric scope at record time (`"<mapper>/<kernel>"`).
+    scope: String,
+    /// Per-thread id.
+    tid: u64,
+    /// Microseconds since the observability epoch.
+    ts_us: u64,
+}
+
+#[derive(Default)]
+struct TraceState {
+    events: Vec<SpanEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// The opt-in span-boundary collector. One process-global instance lives
+/// behind [`crate::chrome`]; tests construct their own and feed it via
+/// [`ChromeTrace::begin`]/[`ChromeTrace::end`].
+pub struct ChromeTrace {
+    enabled: AtomicBool,
+    state: Mutex<TraceState>,
+}
+
+impl Default for ChromeTrace {
+    fn default() -> Self {
+        Self::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl ChromeTrace {
+    /// A disabled collector with the given buffer capacity (0 selects
+    /// [`DEFAULT_TRACE_CAPACITY`]).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            enabled: AtomicBool::new(false),
+            state: Mutex::new(TraceState {
+                capacity: if capacity == 0 {
+                    DEFAULT_TRACE_CAPACITY
+                } else {
+                    capacity
+                },
+                ..TraceState::default()
+            }),
+        }
+    }
+
+    /// Starts collecting with the given capacity (0 keeps the current
+    /// capacity). Spans already open keep their "not traced" status, so
+    /// only spans begun after this call produce events.
+    pub fn enable(&self, capacity: usize) {
+        if capacity > 0 {
+            self.state.lock().expect("trace state poisoned").capacity = capacity;
+        }
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops collecting new `B` events (open traced spans still record
+    /// their `E` so the buffer stays balanced).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether new spans are currently being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Records a `B` event. Returns `true` if the event was buffered —
+    /// the caller must record the matching [`ChromeTrace::end`] exactly
+    /// when this returned `true`.
+    pub fn begin(&self, path: &str, scope: &str) -> bool {
+        if !self.is_enabled() {
+            return false;
+        }
+        let ts_us = epoch_us();
+        let tid = TRACE_TID.with(|t| *t);
+        let mut s = self.state.lock().expect("trace state poisoned");
+        if s.events.len() >= s.capacity {
+            s.dropped = s.dropped.saturating_add(1);
+            return false;
+        }
+        s.events.push(SpanEvent {
+            phase: b'B',
+            name: path.to_string(),
+            scope: scope.to_string(),
+            tid,
+            ts_us,
+        });
+        true
+    }
+
+    /// Records the `E` matching a successful [`ChromeTrace::begin`].
+    /// Always buffered (the buffer may overshoot its capacity by the open
+    /// span depth) so every recorded `B` gets its `E` even if the
+    /// collector was disabled or saturated in between.
+    pub fn end(&self, path: &str, scope: &str) {
+        let ts_us = epoch_us();
+        let tid = TRACE_TID.with(|t| *t);
+        let mut s = self.state.lock().expect("trace state poisoned");
+        s.events.push(SpanEvent {
+            phase: b'E',
+            name: path.to_string(),
+            scope: scope.to_string(),
+            tid,
+            ts_us,
+        });
+    }
+
+    /// `B` events refused because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().expect("trace state poisoned").dropped
+    }
+
+    /// Clears the buffer and drop counter (enabled flag and capacity are
+    /// kept).
+    pub fn reset(&self) {
+        let mut s = self.state.lock().expect("trace state poisoned");
+        s.events.clear();
+        s.dropped = 0;
+    }
+
+    /// Renders the buffered spans (plus `flight`'s records as instant
+    /// events, when given) as a Chrome `trace_event` JSON document.
+    ///
+    /// The output is guaranteed balanced: a per-thread stack pass drops
+    /// any `B` still waiting for its `E` (spans open at export time) and
+    /// any orphaned `E` (its `B` was exported by an earlier call).
+    pub fn export_json(&self, flight: Option<&FlightLog>) -> String {
+        use std::fmt::Write as _;
+        let events = {
+            let s = self.state.lock().expect("trace state poisoned");
+            s.events.clone()
+        };
+        let keep = balanced_indices(&events);
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        for idx in keep {
+            let e = &events[idx];
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":");
+            json::write_str(&mut out, &e.name);
+            let _ = write!(
+                out,
+                ",\"ph\":\"{}\",\"ts\":{},\"pid\":0,\"tid\":{},\"cat\":\"span\",\"args\":{{\"scope\":",
+                e.phase as char, e.ts_us, e.tid
+            );
+            json::write_str(&mut out, &e.scope);
+            out.push_str("}}");
+        }
+        if let Some(log) = flight {
+            for rec in &log.events {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str("{\"name\":");
+                json::write_str(&mut out, rec.event.kind());
+                let _ = write!(
+                    out,
+                    ",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":0,\"s\":\"g\",\"cat\":\"flight\",\
+                     \"args\":{{\"seq\":{},\"scope\":",
+                    rec.ts_us, rec.seq
+                );
+                json::write_str(&mut out, &rec.scope);
+                if let FlightEvent::RouteFailed { edge, ii, reason } = rec.event {
+                    let _ = write!(
+                        out,
+                        ",\"src\":{},\"dst\":{},\"ii\":{ii},\"reason\":\"{reason}\"",
+                        edge.0, edge.1
+                    );
+                }
+                out.push_str("}}");
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Indices of events that form balanced, well-nested `B`/`E` pairs, per
+/// thread. Unmatched `B`s (still open) and orphaned `E`s are excluded.
+fn balanced_indices(events: &[SpanEvent]) -> Vec<usize> {
+    use std::collections::HashMap;
+    let mut stacks: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut keep = vec![false; events.len()];
+    for (i, e) in events.iter().enumerate() {
+        let stack = stacks.entry(e.tid).or_default();
+        match e.phase {
+            b'B' => stack.push(i),
+            _ => {
+                // RAII guarantees LIFO order per thread, so a matching `B`
+                // is always the innermost open one with the same name.
+                if let Some(pos) = stack
+                    .iter()
+                    .rposition(|&b| events[b].name == e.name && events[b].scope == e.scope)
+                {
+                    let b = stack.remove(pos);
+                    keep[b] = true;
+                    keep[i] = true;
+                }
+            }
+        }
+    }
+    (0..events.len()).filter(|&i| keep[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_collector_refuses_begins() {
+        let t = ChromeTrace::new(8);
+        assert!(!t.begin("run", "s"));
+        assert_eq!(t.export_json(None), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn full_buffer_drops_b_and_export_stays_balanced() {
+        let t = ChromeTrace::new(2);
+        t.enable(0);
+        assert!(t.begin("a", "s"));
+        assert!(t.begin("a/b", "s"));
+        assert!(!t.begin("a/b/c", "s"), "third B exceeds capacity");
+        assert_eq!(t.dropped(), 1);
+        t.end("a/b", "s");
+        t.end("a", "s");
+        let json = t.export_json(None);
+        let root = crate::json::parse(&json).unwrap();
+        let events = root.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(events.len(), 4, "two balanced pairs survive");
+    }
+
+    #[test]
+    fn open_spans_are_filtered_from_export() {
+        let t = ChromeTrace::new(16);
+        t.enable(0);
+        assert!(t.begin("outer", "s"));
+        assert!(t.begin("outer/inner", "s"));
+        t.end("outer/inner", "s");
+        // "outer" is still open at export time.
+        let root = crate::json::parse(&t.export_json(None)).unwrap();
+        let events = root.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0].get("name").and_then(|v| v.as_str()),
+            Some("outer/inner")
+        );
+    }
+
+    #[test]
+    fn flight_records_become_instant_events() {
+        let t = ChromeTrace::new(8);
+        t.enable(0);
+        let r = crate::FlightRecorder::new(8);
+        r.enable(0);
+        r.record_in(
+            "SA/fir",
+            FlightEvent::RouteFailed {
+                edge: (0, 1),
+                ii: 2,
+                reason: "no_path",
+            },
+        );
+        let json = t.export_json(Some(&r.snapshot()));
+        let root = crate::json::parse(&json).unwrap();
+        let events = root.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("ph").and_then(|v| v.as_str()), Some("i"));
+        let args = events[0].get("args").unwrap();
+        assert_eq!(args.get("reason").and_then(|v| v.as_str()), Some("no_path"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Integration tests for the forensics layer: the Chrome `trace_event`
+//! exporter (valid JSON, per-thread monotonic timestamps, balanced `B`/`E`
+//! pairs) and a property test that the flight-recorder ring buffer wraps
+//! correctly with an exact drop counter.
+
+use proptest::prelude::*;
+use rewire_obs::{json, FlightEvent, FlightRecorder, Registry};
+
+/// Everything that touches the process-global Chrome collector lives in
+/// this one test so parallel test threads cannot interleave span streams
+/// from different scenarios.
+#[test]
+fn chrome_export_is_valid_balanced_and_monotonic() {
+    let chrome = rewire_obs::chrome();
+    chrome.reset();
+    chrome.enable(0);
+
+    // Spans from several threads, each with its own registry scope/stack.
+    std::thread::scope(|s| {
+        for t in 0..3 {
+            s.spawn(move || {
+                let r = Registry::new();
+                let _scope = r.scope(format!("mapper{t}/kern"));
+                let _run = r.span("run");
+                for _ in 0..4 {
+                    let _attempt = r.span("attempt");
+                    let _inner = r.span("route");
+                }
+            });
+        }
+    });
+    chrome.disable();
+
+    // Flight records ride along as instant events.
+    let flight = FlightRecorder::new(16);
+    flight.enable(0);
+    flight.record_in(
+        "mapper0/kern",
+        FlightEvent::RouteFailed {
+            edge: (3, 4),
+            ii: 2,
+            reason: "no_path",
+        },
+    );
+    let text = chrome.export_json(Some(&flight.snapshot()));
+
+    // 1. The export parses with the workspace's own JSON parser.
+    let root = json::parse(&text).expect("chrome trace is valid JSON");
+    let events = root
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    // 3 threads × (1 run + 4 attempt + 4 route) × B+E, plus one instant.
+    assert_eq!(events.len(), 3 * 9 * 2 + 1);
+
+    // 2. Timestamps are monotonically non-decreasing per thread, and
+    // 3. every B has a matching E (well-nested per thread).
+    use std::collections::HashMap;
+    let mut last_ts: HashMap<u64, u64> = HashMap::new();
+    let mut stacks: HashMap<u64, Vec<String>> = HashMap::new();
+    let mut instants = 0usize;
+    for e in events {
+        let ts = e.get("ts").and_then(|v| v.as_u64()).expect("ts");
+        let tid = e.get("tid").and_then(|v| v.as_u64()).expect("tid");
+        let ph = e.get("ph").and_then(|v| v.as_str()).expect("ph");
+        let name = e.get("name").and_then(|v| v.as_str()).expect("name");
+        let prev = last_ts.entry(tid).or_insert(0);
+        assert!(ts >= *prev, "tid {tid}: ts went backwards ({ts} < {prev})");
+        *prev = ts;
+        match ph {
+            "B" => stacks.entry(tid).or_default().push(name.to_string()),
+            "E" => {
+                let top = stacks.entry(tid).or_default().pop();
+                assert_eq!(top.as_deref(), Some(name), "E matches innermost B");
+            }
+            "i" => {
+                instants += 1;
+                assert_eq!(name, "route_failed");
+                let args = e.get("args").expect("instant args");
+                assert_eq!(args.get("src").and_then(|v| v.as_u64()), Some(3));
+                assert_eq!(args.get("reason").and_then(|v| v.as_str()), Some("no_path"));
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(stacks.values().all(Vec::is_empty), "unmatched B events");
+    assert_eq!(instants, 1);
+    // Span B events carry the scope they were recorded under.
+    let scoped = events.iter().any(|e| {
+        e.get("args")
+            .and_then(|a| a.get("scope"))
+            .and_then(|s| s.as_str())
+            == Some("mapper1/kern")
+    });
+    assert!(scoped, "span events carry their metric scope");
+    chrome.reset();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+    /// The ring keeps exactly the last `capacity` events and the drop
+    /// counter equals `events_emitted − capacity` once the ring has
+    /// wrapped (0 before).
+    #[test]
+    fn ring_buffer_wraps_with_exact_drop_accounting(
+        capacity in 1usize..64,
+        emitted in 0usize..200,
+    ) {
+        let r = FlightRecorder::new(capacity);
+        r.enable(0);
+        for i in 0..emitted {
+            r.record_in("s", FlightEvent::AttemptPhase { phase: "p", ii: i as u32 });
+        }
+        let log = r.snapshot();
+        prop_assert_eq!(r.events_emitted(), emitted as u64);
+        prop_assert_eq!(log.events.len(), emitted.min(capacity));
+        prop_assert_eq!(log.dropped, emitted.saturating_sub(capacity) as u64);
+        // Survivors are the most recent `capacity` events, in order.
+        for (k, rec) in log.events.iter().enumerate() {
+            let expect = emitted.saturating_sub(capacity) + k;
+            prop_assert_eq!(rec.seq, expect as u64);
+            match rec.event {
+                FlightEvent::AttemptPhase { ii, .. } =>
+                    prop_assert_eq!(ii as usize, expect),
+                _ => prop_assert!(false, "unexpected event kind"),
+            }
+        }
+    }
+
+    /// Timestamps within the ring are non-decreasing (events are recorded
+    /// in real time under one lock).
+    #[test]
+    fn ring_timestamps_are_monotone(emitted in 2usize..60) {
+        let r = FlightRecorder::new(32);
+        r.enable(0);
+        for i in 0..emitted {
+            r.record_in("s", FlightEvent::AttemptPhase { phase: "p", ii: i as u32 });
+        }
+        let log = r.snapshot();
+        for pair in log.events.windows(2) {
+            prop_assert!(pair[0].ts_us <= pair[1].ts_us);
+            prop_assert!(pair[0].seq < pair[1].seq);
+        }
+    }
+}

@@ -8,6 +8,7 @@
 //! ```text
 //! rewire-map --kernel gesummv --arch 4x4r4 --mapper rewire --show-grid --verify 8
 //! rewire-map --dfg my_kernel.dfg --rows 6 --cols 6 --regs 2 --mem-cols 0 --banks 4
+//! rewire-map --artifact fuzz/corpus/seed0004-pass.dfg --flight flight.json
 //! ```
 //!
 //! Exit status: 0 = mapped, 1 = no mapping within budget, 2 = usage error.
@@ -20,6 +21,7 @@ use std::time::Duration;
 struct Args {
     kernel: Option<String>,
     dfg_path: Option<String>,
+    artifact: Option<String>,
     arch: Option<String>,
     rows: u16,
     cols: u16,
@@ -29,14 +31,16 @@ struct Args {
     torus: bool,
     mapper: String,
     budget_ms: u64,
-    max_ii: u32,
-    seed: u64,
+    max_ii: Option<u32>,
+    seed: Option<u64>,
     show_grid: bool,
     show_config: bool,
     dot: Option<String>,
     verify: u32,
     trace: Option<String>,
     metrics: Option<String>,
+    flight: Option<String>,
+    chrome_trace: Option<String>,
     progress: bool,
     router: RouterMode,
 }
@@ -46,6 +50,7 @@ impl Args {
         let mut a = Args {
             kernel: None,
             dfg_path: None,
+            artifact: None,
             arch: None,
             rows: 4,
             cols: 4,
@@ -55,14 +60,16 @@ impl Args {
             torus: false,
             mapper: "rewire".into(),
             budget_ms: 2000,
-            max_ii: 20,
-            seed: 0xC0FFEE,
+            max_ii: None,
+            seed: None,
             show_grid: false,
             show_config: false,
             dot: None,
             verify: 0,
             trace: None,
             metrics: None,
+            flight: None,
+            chrome_trace: None,
             progress: false,
             router: rewire::mrrg::default_router_mode(),
         };
@@ -72,6 +79,7 @@ impl Args {
             match flag.as_str() {
                 "--kernel" => a.kernel = Some(val("--kernel")?),
                 "--dfg" => a.dfg_path = Some(val("--dfg")?),
+                "--artifact" => a.artifact = Some(val("--artifact")?),
                 "--arch" => a.arch = Some(val("--arch")?),
                 "--rows" => a.rows = val("--rows")?.parse().map_err(|e| format!("--rows: {e}"))?,
                 "--cols" => a.cols = val("--cols")?.parse().map_err(|e| format!("--cols: {e}"))?,
@@ -95,11 +103,15 @@ impl Args {
                         .map_err(|e| format!("--budget-ms: {e}"))?;
                 }
                 "--max-ii" => {
-                    a.max_ii = val("--max-ii")?
-                        .parse()
-                        .map_err(|e| format!("--max-ii: {e}"))?
+                    a.max_ii = Some(
+                        val("--max-ii")?
+                            .parse()
+                            .map_err(|e| format!("--max-ii: {e}"))?,
+                    )
                 }
-                "--seed" => a.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--seed" => {
+                    a.seed = Some(val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?)
+                }
                 "--show-grid" => a.show_grid = true,
                 "--show-config" => a.show_config = true,
                 "--dot" => a.dot = Some(val("--dot")?),
@@ -110,6 +122,8 @@ impl Args {
                 }
                 "--trace" => a.trace = Some(val("--trace")?),
                 "--metrics" => a.metrics = Some(val("--metrics")?),
+                "--flight" => a.flight = Some(val("--flight")?),
+                "--chrome-trace" => a.chrome_trace = Some(val("--chrome-trace")?),
                 "--progress" => a.progress = true,
                 "--router" => {
                     a.router = match val("--router")?.as_str() {
@@ -122,22 +136,27 @@ impl Args {
                 other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
             }
         }
-        if a.kernel.is_none() && a.dfg_path.is_none() {
-            return Err(format!("one of --kernel or --dfg is required\n{USAGE}"));
+        if a.kernel.is_none() && a.dfg_path.is_none() && a.artifact.is_none() {
+            return Err(format!(
+                "one of --kernel, --dfg or --artifact is required\n{USAGE}"
+            ));
         }
         Ok(a)
     }
 }
 
 const USAGE: &str = "\
-usage: rewire-map (--kernel <name> | --dfg <file>) [options]
+usage: rewire-map (--kernel <name> | --dfg <file> | --artifact <file>) [options]
+  --artifact <file>                load a rewire-fuzz corpus artifact (fabric, kernel,
+                                   seed and II ceiling all come from the file; --seed,
+                                   --max-ii and fabric flags still override)
   --arch 4x4r4|4x4r2|4x4r1|8x8r4   preset fabric (default: custom/4x4r4)
   --rows R --cols C --regs N       custom fabric dimensions
   --banks B --mem-cols 0,3         memory banks and memory columns
   --torus                          wrap-around links
   --mapper rewire|pf|sa            mapper (default rewire)
   --budget-ms N                    per-II wall-clock budget (default 2000)
-  --max-ii N                       II ceiling (default 20)
+  --max-ii N                       II ceiling (default 20, or the artifact's)
   --seed N                         RNG seed
   --show-grid                      render the per-slot placement grid
   --show-config                    dump the per-slot configuration words
@@ -145,6 +164,8 @@ usage: rewire-map (--kernel <name> | --dfg <file>) [options]
   --verify N                       simulate N iterations and check semantics
   --trace <file>                   write a JSONL MapEvent trace of the run
   --metrics <file>                 write a metrics snapshot (counters, span timers) as JSON
+  --flight <file>                  write the flight-recorder decision log as JSON
+  --chrome-trace <file>            write a Chrome trace_event JSON (load in Perfetto)
   --progress                       print per-II mapping progress to stderr
   --router dense|pruned            router sweep mode (default pruned; same results, A/B the work)";
 
@@ -176,8 +197,35 @@ fn load_dfg(a: &Args) -> Result<Dfg, String> {
     Dfg::from_text(&text).map_err(|e| e.to_string())
 }
 
+/// Loads a fuzz-corpus artifact: the fabric, kernel, seed, and II ceiling
+/// all come from the file unless overridden on the command line. Fabric
+/// flags (`--arch`/`--rows`/...) win over the artifact's spec so a hard
+/// case can be replayed on a different fabric.
+fn load_artifact(a: &mut Args) -> Result<Option<(Cgra, Dfg)>, String> {
+    let Some(path) = a.artifact.clone() else {
+        return Ok(None);
+    };
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let artifact = rewire_fuzz::Artifact::from_text(&text).map_err(|e| format!("{path}: {e}"))?;
+    if a.max_ii.is_none() {
+        a.max_ii = Some(artifact.max_ii);
+    }
+    if a.seed.is_none() {
+        a.seed = Some(artifact.seed);
+    }
+    if !artifact.note.is_empty() {
+        println!("artifact: {} ({})", path, artifact.note);
+    }
+    let cgra = if a.arch.is_some() {
+        build_cgra(a)?
+    } else {
+        artifact.spec.build().map_err(|e| format!("{path}: {e}"))?
+    };
+    Ok(Some((cgra, artifact.dfg)))
+}
+
 fn main() -> ExitCode {
-    let args = match Args::parse() {
+    let mut args = match Args::parse() {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");
@@ -185,12 +233,23 @@ fn main() -> ExitCode {
         }
     };
     rewire::mrrg::set_default_router_mode(args.router);
-    let (cgra, dfg) = match (build_cgra(&args), load_dfg(&args)) {
-        (Ok(c), Ok(d)) => (c, d),
-        (Err(e), _) | (_, Err(e)) => {
+    let loaded = match load_artifact(&mut args) {
+        Ok(l) => l,
+        Err(e) => {
             eprintln!("{e}");
             return ExitCode::from(2);
         }
+    };
+    let args = args;
+    let (cgra, dfg) = match loaded {
+        Some(pair) => pair,
+        None => match (build_cgra(&args), load_dfg(&args)) {
+            (Ok(c), Ok(d)) => (c, d),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        },
     };
 
     println!("fabric:  {cgra}");
@@ -223,10 +282,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let seed = args.seed.unwrap_or(0xC0FFEE);
     let limits = MapLimits::fast()
         .with_ii_time_budget(Duration::from_millis(args.budget_ms))
-        .with_max_ii(args.max_ii)
-        .with_seed(args.seed);
+        .with_max_ii(args.max_ii.unwrap_or(20))
+        .with_seed(seed);
+
+    // The forensics collectors are process-global and off by default;
+    // asking for either output file switches them on for this run.
+    if args.flight.is_some() || args.chrome_trace.is_some() {
+        rewire::obs::flight().enable(0);
+    }
+    if args.chrome_trace.is_some() {
+        rewire::obs::chrome().enable(0);
+    }
 
     // Compose the requested sinks: trace and progress can run together.
     let mut sinks = rewire::mappers::engine::Fanout::default();
@@ -260,6 +329,27 @@ fn main() -> ExitCode {
         }
         println!("metrics written to {path}");
     }
+    if args.flight.is_some() || args.chrome_trace.is_some() {
+        let flight_log = rewire::obs::flight().snapshot();
+        if let Some(path) = &args.flight {
+            let mut json = flight_log.to_json();
+            json.push('\n');
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(2);
+            }
+            println!("flight log written to {path}");
+        }
+        if let Some(path) = &args.chrome_trace {
+            let mut json = rewire::obs::chrome().export_json(Some(&flight_log));
+            json.push('\n');
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(2);
+            }
+            println!("chrome trace written to {path}");
+        }
+    }
     // The one-line summary below is the same `MapStats` Display that
     // `rewire-report` prints per run, so the two tools read identically.
     let Some(mapping) = &outcome.mapping else {
@@ -287,7 +377,7 @@ fn main() -> ExitCode {
         println!("\n{cfg}\n{}", cfg.render(&dfg, &cgra));
     }
     if args.verify > 0 {
-        match verify_semantics(&dfg, &cgra, mapping, &Inputs::new(args.seed), args.verify) {
+        match verify_semantics(&dfg, &cgra, mapping, &Inputs::new(seed), args.verify) {
             Ok(()) => println!("semantics verified over {} iterations", args.verify),
             Err(e) => {
                 eprintln!("SEMANTIC DIVERGENCE: {e}");

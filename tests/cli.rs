@@ -80,6 +80,43 @@ fn maps_a_dfg_file_on_a_custom_fabric() {
 }
 
 #[test]
+fn maps_a_corpus_artifact_and_dumps_forensics() {
+    let dir = std::env::temp_dir().join(format!("rewire-cli-forensics-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let flight = dir.join("flight.json");
+    let chrome = dir.join("chrome.json");
+    let artifact = concat!(env!("CARGO_MANIFEST_DIR"), "/fuzz/corpus/seed0004-pass.dfg");
+    let out = rewire_map()
+        .args([
+            "--artifact",
+            artifact,
+            "--mapper",
+            "pf",
+            "--flight",
+            flight.to_str().unwrap(),
+            "--chrome-trace",
+            chrome.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Fabric, kernel and II ceiling all come from the artifact file.
+    assert!(stdout.contains("artifact:"), "provenance line: {stdout}");
+    assert!(stdout.contains("CGRA 3x3"), "artifact fabric: {stdout}");
+    assert!(stdout.contains("PF*/hand-backedge-hub: II "), "{stdout}");
+    let flight_json = std::fs::read_to_string(&flight).unwrap();
+    assert!(flight_json.contains("\"version\""), "{flight_json}");
+    let chrome_json = std::fs::read_to_string(&chrome).unwrap();
+    assert!(chrome_json.contains("traceEvents"), "{chrome_json}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn dot_export_writes_a_file() {
     let dir = std::env::temp_dir().join("rewire-cli-test");
     std::fs::create_dir_all(&dir).unwrap();

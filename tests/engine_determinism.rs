@@ -124,6 +124,57 @@ fn metrics_and_trace_sinks_never_change_results() {
     assert!(covered >= 10, "only {covered} kernels were comparable");
 }
 
+/// The full observability stack — JSONL trace and metrics sinks *plus* the
+/// process-global flight recorder and Chrome span collector — must also be
+/// observe-only. This is the strongest form of the guarantee: the flight
+/// recorder samples congestion inside PF*'s negotiation loop and the
+/// Chrome collector timestamps every span, yet no placement may move.
+#[test]
+fn flight_recorder_and_chrome_collectors_never_change_results() {
+    let cgra = presets::paper_4x4_r4();
+    let suite = kernels::all();
+    let mut covered = 0usize;
+    for mapper in capped_mappers() {
+        covered = 0;
+        for (name, dfg) in suite.iter().take(12) {
+            let Some(limits) = limits_for(dfg, &cgra) else {
+                continue;
+            };
+            covered += 1;
+            let silent = fingerprint(dfg, &mapper.map(dfg, &cgra, &limits));
+
+            rewire_obs::flight().enable(0);
+            rewire_obs::chrome().enable(0);
+            let before = rewire_obs::flight().events_emitted();
+            let mut observed_sinks = Fanout::default();
+            observed_sinks.0.push(Box::new(JsonlTrace::new(Vec::new())));
+            observed_sinks.0.push(Box::new(MetricsSink::new()));
+            let observed = fingerprint(
+                dfg,
+                &mapper.map_with_events(dfg, &cgra, &limits, &mut observed_sinks),
+            );
+            let recorded = rewire_obs::flight().events_emitted() - before;
+            rewire_obs::flight().disable();
+            rewire_obs::chrome().disable();
+
+            assert_eq!(
+                silent,
+                observed,
+                "{} on {name}: flight recorder / chrome collector changed the result",
+                mapper.name()
+            );
+            // The comparison is only meaningful if the collectors actually
+            // saw the run: every engine attempt stamps a phase heartbeat.
+            assert!(
+                recorded > 0,
+                "{} on {name}: flight recorder captured nothing",
+                mapper.name()
+            );
+        }
+    }
+    assert!(covered >= 10, "only {covered} kernels were comparable");
+}
+
 /// A faithful replica of the outer loop every mapper used to hand-roll
 /// before the engine existed: `iis_explored` incremented per II, the per-II
 /// deadline computed at the top of each iteration, the attempt invoked, and

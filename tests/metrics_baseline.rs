@@ -1,0 +1,199 @@
+//! Perf-regression gate: the work counters of the capped deterministic
+//! mappers on the fig5 smoke kernels, pinned as a checked-in JSON
+//! baseline with a tolerance band.
+//!
+//! The golden-results suite pins *what* the mappers produce; this suite
+//! pins *how much work* they do to produce it. A change that silently
+//! doubles `router.expansions` or `pf.rip_ups` while leaving every II
+//! intact passes the golden gate but fails here. The band (±10%) absorbs
+//! benign drift — a few extra negotiation iterations from a reordered
+//! tie-break — while catching order-of-magnitude regressions.
+//!
+//! Intentional changes are blessed with:
+//!
+//! ```text
+//! REWIRE_BLESS=1 cargo test --test metrics_baseline
+//! ```
+//!
+//! and the regenerated `tests/golden/metrics_baseline.json` is reviewed
+//! like code: the diff shows exactly how much more (or less) work the
+//! new mapper does.
+
+use rewire::prelude::*;
+use rewire_mappers::PathFinderConfig;
+use rewire_obs as obs;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// The fig5 smoke set CI maps for the observability pipeline.
+const SMOKE_KERNELS: [&str; 5] = ["fir", "atax", "bicg", "mvt", "gesummv"];
+
+/// Counters the gate pins. Totals are summed over every metrics scope the
+/// runs touched, so per-kernel scoping does not matter here.
+const TRACKED: [&str; 3] = ["router.expansions", "pf.rip_ups", "engine.attempts"];
+
+/// Relative drift the gate absorbs before failing.
+const TOLERANCE: f64 = 0.10;
+
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/metrics_baseline.json")
+}
+
+/// Capped deterministic configurations: every stochastic loop bound by an
+/// iteration cap and the wall clock never binding, so the counters are
+/// machine-independent.
+fn capped_pathfinder() -> PathFinderMapper {
+    PathFinderMapper::with_config(PathFinderConfig {
+        max_iterations_per_ii: 60,
+        max_full_evals: 6,
+        ..Default::default()
+    })
+}
+
+fn capped_rewire() -> RewireMapper {
+    RewireMapper::with_config(RewireConfig {
+        max_cluster_attempts: 6,
+        max_restarts_per_ii: 1,
+        ..Default::default()
+    })
+}
+
+fn limits_for(dfg: &Dfg, cgra: &Cgra) -> MapLimits {
+    let mii = dfg.mii(cgra).expect("smoke kernels are feasible");
+    MapLimits::fast()
+        .with_seed(0xFACADE)
+        .with_ii_time_budget(Duration::from_secs(600))
+        .with_max_ii(mii + 1)
+}
+
+/// Sum of one counter over every scope in the global registry.
+fn total(name: &str) -> u64 {
+    obs::metrics()
+        .snapshot()
+        .scopes
+        .values()
+        .filter_map(|s| s.counters.get(name).copied())
+        .sum()
+}
+
+/// Runs the smoke kernels under both capped mappers and returns the
+/// before/after delta of each tracked counter.
+fn measure() -> BTreeMap<String, u64> {
+    let cgra = presets::paper_4x4_r4();
+    let suite = kernels::all();
+    let before: Vec<u64> = TRACKED.iter().map(|n| total(n)).collect();
+    for name in SMOKE_KERNELS {
+        let (_, dfg) = suite
+            .iter()
+            .find(|(k, _)| *k == name)
+            .unwrap_or_else(|| panic!("smoke kernel {name} missing from the suite"));
+        // Success is pinned by the golden-results suite; here only the
+        // work spent matters, so failed attempts count too.
+        let limits = limits_for(dfg, &cgra);
+        let _ = capped_pathfinder().map(dfg, &cgra, &limits);
+        let _ = capped_rewire().map(dfg, &cgra, &limits);
+    }
+    TRACKED
+        .iter()
+        .zip(before)
+        .map(|(name, b)| ((*name).to_string(), total(name) - b))
+        .collect()
+}
+
+fn render(baseline: &BTreeMap<String, u64>) -> String {
+    let mut out = String::from("{\n");
+    let body: Vec<String> = baseline
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect();
+    out.push_str(&body.join(",\n"));
+    out.push_str("\n}\n");
+    out
+}
+
+/// Parses the flat `{"name": count, ...}` baseline. Hand-rolled because
+/// the format is one object of string-to-integer pairs and the workspace
+/// vendors no JSON crate.
+fn parse(text: &str) -> Result<BTreeMap<String, u64>, String> {
+    let body = text
+        .trim()
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or("baseline must be a JSON object")?;
+    let mut map = BTreeMap::new();
+    for pair in body.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (key, value) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("bad pair {pair:?}"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted key in {pair:?}"))?;
+        let value: u64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad count for {key}: {e}"))?;
+        map.insert(key.to_string(), value);
+    }
+    Ok(map)
+}
+
+#[test]
+fn work_counters_stay_within_the_baseline_band() {
+    let current = measure();
+    let path = baseline_path();
+    if std::env::var_os("REWIRE_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, render(&current)).unwrap();
+        eprintln!("blessed {}: {current:?}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing baseline {} ({e}); run REWIRE_BLESS=1 cargo test --test metrics_baseline",
+            path.display()
+        )
+    });
+    let golden = parse(&golden).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let mut drifted = String::new();
+    for name in TRACKED {
+        let expect = *golden
+            .get(name)
+            .unwrap_or_else(|| panic!("baseline is missing {name}; re-bless"));
+        let got = current[name];
+        let band = (expect as f64 * TOLERANCE).max(1.0);
+        let delta = got as f64 - expect as f64;
+        if delta.abs() > band {
+            writeln!(
+                drifted,
+                "  {name}: {expect} -> {got} ({:+.1}%, band ±{:.0}%)",
+                delta / expect.max(1) as f64 * 100.0,
+                TOLERANCE * 100.0
+            )
+            .unwrap();
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "work counters drifted outside the baseline band:\n{drifted}\
+         if intentional, re-bless with REWIRE_BLESS=1 cargo test --test metrics_baseline"
+    );
+}
+
+#[test]
+fn baseline_parser_round_trips() {
+    let mut sample = BTreeMap::new();
+    sample.insert("router.expansions".to_string(), 12_345u64);
+    sample.insert("pf.rip_ups".to_string(), 0u64);
+    sample.insert("engine.attempts".to_string(), 7u64);
+    assert_eq!(parse(&render(&sample)).unwrap(), sample);
+    assert!(parse("[1,2]").is_err());
+    assert!(parse("{\"a\": x}").is_err());
+}
