@@ -1,0 +1,27 @@
+//! Regenerates the MII-tightness study for EXPERIMENTS.md: the exact
+//! SAT backend's proven minimal II vs the theoretical MII bound vs the
+//! capped deterministic heuristics, on the fig5 4×4 fabrics.
+//!
+//! The study is fully deterministic (conflict and iteration caps bind,
+//! never the wall clock), so this binary takes no budget argument and
+//! its output is byte-stable — the golden form is pinned by
+//! `tests/mii_tightness.rs`.
+//!
+//! Usage: `cargo run -p rewire-bench --release --bin mii_tightness`
+
+use rewire_bench::{mii_tightness_rows, render_markdown};
+
+fn main() {
+    eprintln!("mii_tightness: exact SAT floor vs MII vs capped heuristics");
+    let rows = mii_tightness_rows(|row| {
+        eprintln!(
+            "  {} / {}: mii={} exact={} {:?}",
+            row.fabric,
+            row.kernel,
+            row.mii,
+            row.exact_cell(),
+            row.heuristics
+        );
+    });
+    print!("{}", render_markdown(&rows));
+}

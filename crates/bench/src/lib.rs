@@ -4,6 +4,8 @@
 //!
 //! * [`workloads`] — the 47 benchmark–architecture combinations of Fig 5,
 //! * [`runner`] — runs a set of mappers over workloads and collects rows,
+//! * [`mii_tightness`] — the exact-SAT MII-tightness study (proven
+//!   minimal II vs the MII bound vs capped heuristics),
 //! * [`report`] — table/series printers and the summary statistics the
 //!   paper quotes (speedups, optimal/near-optimal counts, time reductions),
 //! * [`obs_report`] — trace/metrics aggregation behind `rewire-report`,
@@ -19,11 +21,13 @@
 #![warn(missing_docs)]
 
 pub mod doctor;
+pub mod mii_tightness;
 pub mod obs_report;
 pub mod report;
 pub mod runner;
 pub mod workloads;
 
+pub use mii_tightness::{mii_tightness_rows, render_markdown, render_snapshot, TightnessRow};
 pub use report::{print_fig5, print_fig6, print_table1, summarize, to_markdown, Summary};
 pub use runner::{
     parallel_map, parse_cli, run_workloads, run_workloads_jobs, run_workloads_traced, BenchArgs,

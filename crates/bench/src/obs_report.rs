@@ -55,6 +55,7 @@ impl RunSummary {
             remap_iterations: self.iterations,
             negotiation_rounds: self.rounds,
             elapsed: Duration::from_micros(self.elapsed_us.min(u64::MAX as u128) as u64),
+            verdicts: Vec::new(),
         }
     }
 

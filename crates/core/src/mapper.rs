@@ -666,6 +666,7 @@ impl IiAttempt for RewireAttempt<'_> {
             },
             mapping: amended,
             iterations,
+            verdict: None,
         }
     }
 }

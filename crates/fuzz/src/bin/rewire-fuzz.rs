@@ -1,8 +1,13 @@
 //! Differential fuzzing driver.
 //!
 //! Usage:
-//! `rewire-fuzz [--seeds A..B] [--budget-ms N] [--jobs N] [--corpus DIR]
-//!              [--metrics FILE] [--replay DIR]`
+//! `rewire-fuzz [--seeds A..B] [--budget-ms N] [--exact-budget-ms N]
+//!              [--jobs N] [--corpus DIR] [--metrics FILE] [--replay DIR]`
+//!
+//! `--exact-budget-ms N` (default 0 = off) additionally runs the exact
+//! SAT backend on every scenario with an N-millisecond per-II wall-clock
+//! safety net, enabling the `exact_verdict` oracle layer: any heuristic
+//! mapping at an II the SAT solver proved infeasible is a violation.
 //!
 //! Default mode fuzzes the seed range (default `0..256`): every seed is a
 //! random DFG on a random fabric, mapped by all four mappers and checked
@@ -21,6 +26,7 @@ use std::time::Instant;
 struct Args {
     seeds: std::ops::Range<u64>,
     budget_ms: u64,
+    exact_budget_ms: u64,
     jobs: usize,
     corpus: PathBuf,
     metrics: Option<String>,
@@ -41,6 +47,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Args {
     let mut parsed = Args {
         seeds: 0..256,
         budget_ms: 200,
+        exact_budget_ms: 0,
         jobs: 1,
         corpus: PathBuf::from("fuzz/corpus"),
         metrics: None,
@@ -59,6 +66,13 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Args {
                 .expect("--budget-ms needs a positive integer");
         } else if let Some(v) = arg.strip_prefix("--budget-ms=") {
             parsed.budget_ms = v.parse().expect("--budget-ms needs a positive integer");
+        } else if arg == "--exact-budget-ms" {
+            parsed.exact_budget_ms = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--exact-budget-ms needs an integer");
+        } else if let Some(v) = arg.strip_prefix("--exact-budget-ms=") {
+            parsed.exact_budget_ms = v.parse().expect("--exact-budget-ms needs an integer");
         } else if arg == "--jobs" {
             parsed.jobs = args
                 .next()
@@ -139,6 +153,7 @@ fn main() -> ExitCode {
     let args = parse_args(std::env::args().skip(1));
     let cfg = FuzzConfig {
         budget_ms: args.budget_ms,
+        exact_budget_ms: args.exact_budget_ms,
         ..FuzzConfig::default()
     };
 
@@ -152,8 +167,16 @@ fn main() -> ExitCode {
 
     let n = args.seeds.end - args.seeds.start;
     eprintln!(
-        "fuzzing seeds {}..{} (budget {} ms/II, {} jobs)",
-        args.seeds.start, args.seeds.end, args.budget_ms, args.jobs
+        "fuzzing seeds {}..{} (budget {} ms/II, exact oracle {}, {} jobs)",
+        args.seeds.start,
+        args.seeds.end,
+        args.budget_ms,
+        if args.exact_budget_ms > 0 {
+            format!("{} ms/II", args.exact_budget_ms)
+        } else {
+            "off".to_string()
+        },
+        args.jobs
     );
     let started = Instant::now();
     let reports = fuzz_range(args.seeds.clone(), &cfg, args.jobs);

@@ -14,6 +14,16 @@
 //!    trusted as complete ([`CrossMapperPolicy`]), no heuristic may beat
 //!    its optimum and it may not miss an instance a heuristic proves
 //!    feasible.
+//! 5. **Exact verdict** — when the SAT backend ran (the `"Exact"` run),
+//!    its machine-checked per-II verdicts must agree with every other
+//!    mapper: a heuristic mapping at an II the SAT solver *proved*
+//!    infeasible means one of the two is wrong, and the heuristic's
+//!    validated mapping is the feasibility certificate that convicts the
+//!    encoder. Unlike the exhaustive cross-check, this layer needs no
+//!    trust policy — UNSAT is a proof, not a search give-up — but it is
+//!    horizon-guarded: the proof only covers schedules within
+//!    [`ExactSatMapper::proof_horizon`], so a heuristic mapping scheduled
+//!    beyond it is out of scope rather than a contradiction.
 //!
 //! Every check is a standalone function returning violations rather than
 //! panicking, so the shrinker can re-run the stack cheaply and unit tests
@@ -21,7 +31,7 @@
 
 use rewire_arch::Cgra;
 use rewire_dfg::Dfg;
-use rewire_mappers::{MapOutcome, Mapping};
+use rewire_mappers::{AttemptVerdict, ExactSatMapper, MapOutcome, Mapping};
 use rewire_sim::{verify_semantics, Inputs};
 use std::fmt;
 
@@ -36,6 +46,8 @@ pub enum CheckKind {
     MiiBound,
     /// Exhaustive-vs-heuristic feasibility/optimality agreement.
     CrossMapper,
+    /// SAT-proof-vs-heuristic agreement: nobody maps at a proven-UNSAT II.
+    ExactVerdict,
 }
 
 impl CheckKind {
@@ -46,6 +58,7 @@ impl CheckKind {
             CheckKind::Semantic => "semantic",
             CheckKind::MiiBound => "mii_bound",
             CheckKind::CrossMapper => "cross_mapper",
+            CheckKind::ExactVerdict => "exact_verdict",
         }
     }
 
@@ -56,17 +69,19 @@ impl CheckKind {
             "semantic" => Some(CheckKind::Semantic),
             "mii_bound" => Some(CheckKind::MiiBound),
             "cross_mapper" => Some(CheckKind::CrossMapper),
+            "exact_verdict" => Some(CheckKind::ExactVerdict),
             _ => None,
         }
     }
 
     /// All checks, in evaluation order.
-    pub fn all() -> [CheckKind; 4] {
+    pub fn all() -> [CheckKind; 5] {
         [
             CheckKind::Structural,
             CheckKind::Semantic,
             CheckKind::MiiBound,
             CheckKind::CrossMapper,
+            CheckKind::ExactVerdict,
         ]
     }
 }
@@ -284,7 +299,10 @@ pub fn check_cross_mapper(
     let full_span = max_ii.saturating_sub(mii) + 1;
 
     for r in runs {
-        let refused = r.name == "Exhaustive" && r.outcome.stats.iis_explored == 0;
+        // Both oracle-grade mappers refuse oversized instances up front
+        // (0 IIs explored) rather than sweeping; that is not an early bail.
+        let refused =
+            (r.name == "Exhaustive" || r.name == "Exact") && r.outcome.stats.iis_explored == 0;
         if r.outcome.stats.achieved_ii.is_none()
             && r.outcome.stats.iis_explored < full_span
             && !refused
@@ -349,6 +367,63 @@ pub fn check_cross_mapper(
     out
 }
 
+/// Check 5: SAT-verdict agreement.
+///
+/// For every II the `"Exact"` run *proved* infeasible
+/// ([`AttemptVerdict::InfeasibleAtII`]), no other mapper may have produced
+/// a mapping at exactly that II — a validated mapping is a feasibility
+/// certificate, so such a pair convicts the CNF encoder (or the heuristic
+/// whose mapping slipped past validation). Two deliberate scope limits
+/// keep the check sound:
+///
+/// * **Horizon guard** — the encoder only quantifies over schedules whose
+///   latest operation is at or below
+///   [`ExactSatMapper::proof_horizon`]`(dfg, ii)`. Rewire's execution
+///   horizon can ratchet past that bound across amendment rounds, so a
+///   heuristic mapping scheduled beyond it contradicts nothing.
+/// * `Unknown` verdicts (budget truncation) and the mapped II's own
+///   `Optimal` verdict constrain nobody.
+///
+/// The converse direction needs no code: the exact backend's *successes*
+/// flow through the structural, semantic, and MII layers like any other
+/// mapper's, so a SAT model that decodes into a broken mapping is caught
+/// there.
+pub fn check_exact_verdicts(dfg: &Dfg, runs: &[MapperRun]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(exact) = runs.iter().find(|r| r.name == "Exact") else {
+        return out;
+    };
+    for &(ii, verdict) in &exact.outcome.stats.verdicts {
+        if verdict != AttemptVerdict::InfeasibleAtII {
+            continue;
+        }
+        let horizon = ExactSatMapper::proof_horizon(dfg, ii);
+        for r in runs.iter().filter(|r| r.name != "Exact") {
+            let Some(mapping) = &r.outcome.mapping else {
+                continue;
+            };
+            if r.outcome.stats.achieved_ii != Some(ii) {
+                continue;
+            }
+            // `schedule_length` is the latest placed time plus one, so a
+            // mapping is inside the proof's scope iff it stays ≤ H + 1.
+            let fill = mapping.schedule_length();
+            if fill > horizon + 1 {
+                continue;
+            }
+            out.push(Violation {
+                check: CheckKind::ExactVerdict,
+                mapper: r.name.clone(),
+                detail: format!(
+                    "maps at II {ii} (schedule length {fill}) but the SAT backend proved \
+                     II {ii} infeasible within horizon {horizon}"
+                ),
+            });
+        }
+    }
+    out
+}
+
 /// Runs the whole stack over every outcome and returns all violations, in
 /// deterministic (run, check) order.
 pub fn run_oracle(
@@ -381,6 +456,7 @@ pub fn run_oracle(
         cfg.max_ii,
         &cfg.cross_mapper,
     ));
+    out.extend(check_exact_verdicts(dfg, runs));
     out
 }
 
@@ -659,5 +735,139 @@ mod tests {
             assert_eq!(CheckKind::from_label(c.label()), Some(c));
         }
         assert_eq!(CheckKind::from_label("nope"), None);
+    }
+
+    /// A synthetic `"Exact"` run with the given per-II verdicts and no
+    /// mapping of its own.
+    fn exact_run(verdicts: Vec<(u32, rewire_mappers::AttemptVerdict)>) -> MapperRun {
+        let mut st = stats(None, 2, verdicts.len() as u32);
+        st.verdicts = verdicts;
+        MapperRun {
+            name: "Exact".into(),
+            outcome: MapOutcome {
+                mapping: None,
+                stats: st,
+            },
+        }
+    }
+
+    #[test]
+    fn exact_verdict_catches_a_mapping_at_a_proven_unsat_ii() {
+        use rewire_mappers::AttemptVerdict;
+        let (dfg, _cgra, m) = mapped_pair();
+        let ii = m.ii();
+        let heuristic = MapperRun {
+            name: "PF*".into(),
+            outcome: MapOutcome {
+                stats: stats(Some(ii), 1, 2),
+                mapping: Some(m),
+            },
+        };
+        // The SAT backend "proved" the II the heuristic mapped at
+        // infeasible — a seeded encoder bug the layer must convict.
+        let exact = exact_run(vec![(ii, AttemptVerdict::InfeasibleAtII)]);
+        let v = check_exact_verdicts(&dfg, &[heuristic, exact]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].check, CheckKind::ExactVerdict);
+        assert_eq!(v[0].mapper, "PF*");
+        assert!(v[0].detail.contains("proved"), "{}", v[0]);
+    }
+
+    #[test]
+    fn exact_verdict_tolerates_agreement_unknowns_and_other_iis() {
+        use rewire_mappers::AttemptVerdict;
+        let (dfg, _cgra, m) = mapped_pair();
+        let ii = m.ii();
+        let heuristic = MapperRun {
+            name: "PF*".into(),
+            outcome: MapOutcome {
+                stats: stats(Some(ii), 1, 2),
+                mapping: Some(m),
+            },
+        };
+        // Infeasibility proven strictly below the achieved II, an Unknown
+        // at the achieved II, and an Optimal all constrain nothing.
+        let exact = exact_run(vec![
+            (ii - 1, AttemptVerdict::InfeasibleAtII),
+            (ii, AttemptVerdict::Unknown { conflicts: 9 }),
+            (ii + 1, AttemptVerdict::Optimal),
+        ]);
+        assert!(check_exact_verdicts(&dfg, &[heuristic, exact]).is_empty());
+        // No Exact run at all: the layer is inert.
+        let lone = [run("SA", Some(2), 1)];
+        assert!(check_exact_verdicts(&dfg, &lone).is_empty());
+    }
+
+    #[test]
+    fn exact_verdict_is_horizon_guarded() {
+        use rewire_mappers::AttemptVerdict;
+        // A mapping whose pipeline fill exceeds the proof horizon sits
+        // outside the UNSAT proof's quantifier, so nothing may fire even
+        // though the achieved IIs coincide.
+        let (dfg, cgra, m) = mapped_pair();
+        let ii = m.ii();
+        let horizon = rewire_mappers::ExactSatMapper::proof_horizon(&dfg, ii);
+        assert!(
+            m.schedule_length() <= horizon + 1,
+            "the honest mapping must sit inside the horizon"
+        );
+        let mrrg = Mrrg::new(&cgra, ii);
+        let router = Router::new(&cgra, &mrrg);
+        let mut late = Mapping::new(&dfg, &mrrg);
+        let a = dfg.node_by_name("a").unwrap().id();
+        let b = dfg.node_by_name("b").unwrap().id();
+        late.place(a, pe(&cgra, 0, 0), horizon);
+        late.place(b, pe(&cgra, 0, 1), horizon + 1);
+        for e in [0u32, 1] {
+            let id = EdgeId::new(e);
+            let req = late.request_for(&dfg, id).unwrap();
+            let route = router.route(late.occupancy(), &req, &UnitCost).unwrap();
+            late.set_route(id, route);
+        }
+        assert!(late.schedule_length() > horizon + 1);
+        let heuristic = MapperRun {
+            name: "Rewire".into(),
+            outcome: MapOutcome {
+                stats: stats(Some(ii), 1, 2),
+                mapping: Some(late),
+            },
+        };
+        let exact = exact_run(vec![(ii, AttemptVerdict::InfeasibleAtII)]);
+        assert!(check_exact_verdicts(&dfg, &[heuristic, exact]).is_empty());
+    }
+
+    #[test]
+    fn full_stack_is_clean_with_the_real_exact_backend() {
+        // PF* and the real SAT backend on the same small kernel: the
+        // exact run's verdicts must never convict an honest mapping, and
+        // its own mapping must clear the structural/semantic/MII layers.
+        let cgra = presets::paper_4x4_r4();
+        let mut dfg = Dfg::new("tri");
+        let a = dfg.add_node("a", OpKind::Const);
+        let b = dfg.add_node("b", OpKind::Add);
+        let c = dfg.add_node("c", OpKind::Add);
+        dfg.add_edge(a, b, 0).unwrap();
+        dfg.add_edge(a, c, 0).unwrap();
+        dfg.add_edge(b, c, 0).unwrap();
+        let limits = MapLimits::fast();
+        let runs = [
+            MapperRun {
+                name: "PF*".into(),
+                outcome: PathFinderMapper::new().map(&dfg, &cgra, &limits),
+            },
+            MapperRun {
+                name: "Exact".into(),
+                outcome: rewire_mappers::ExactSatMapper::new().map(&dfg, &cgra, &limits),
+            },
+        ];
+        assert!(runs[1].outcome.stats.proven_optimal());
+        let cfg = OracleConfig {
+            mii: dfg.mii(&cgra),
+            max_ii: limits.max_ii,
+            input_seed: 3,
+            sim_iterations: 6,
+            cross_mapper: CrossMapperPolicy::default(),
+        };
+        assert_eq!(run_oracle(&dfg, &cgra, &runs, &cfg), vec![]);
     }
 }

@@ -1,5 +1,5 @@
-//! The fuzz loop: scenario → four mappers → oracle stack → (on failure)
-//! shrink → artifact.
+//! The fuzz loop: scenario → four mappers (plus the gated exact SAT
+//! oracle) → oracle stack → (on failure) shrink → artifact.
 //!
 //! Determinism contract: the same seed produces a byte-identical scenario,
 //! mapper outcomes, violations and shrink trace, because every stochastic
@@ -18,7 +18,8 @@ use rewire_bench::parallel_map;
 use rewire_core::{RewireConfig, RewireMapper};
 use rewire_dfg::Dfg;
 use rewire_mappers::{
-    ExhaustiveMapper, MapLimits, Mapper, PathFinderConfig, PathFinderMapper, SaConfig, SaMapper,
+    ExactSatMapper, ExhaustiveMapper, MapLimits, Mapper, PathFinderConfig, PathFinderMapper,
+    SaConfig, SaMapper,
 };
 use rewire_obs as obs;
 use std::time::Duration;
@@ -36,6 +37,13 @@ pub struct FuzzConfig {
     pub sim_iterations: u32,
     /// Maximum candidate evaluations the shrinker may spend per failure.
     pub shrink_budget: u32,
+    /// Per-II wall-clock budget for the exact SAT oracle, in
+    /// milliseconds. `0` (the default) disables the layer entirely: only
+    /// the four differential mappers run and no `exact_verdict` check
+    /// applies. When enabled, size it generously — the SAT backend's
+    /// deterministic conflict budget is meant to bind first, so verdicts
+    /// replay identically across machines.
+    pub exact_budget_ms: u64,
 }
 
 impl Default for FuzzConfig {
@@ -45,6 +53,7 @@ impl Default for FuzzConfig {
             extra_ii: 3,
             sim_iterations: 8,
             shrink_budget: 300,
+            exact_budget_ms: 0,
         }
     }
 }
@@ -94,13 +103,26 @@ pub fn evaluate(
         .with_seed(mapper_seed)
         .with_ii_time_budget(Duration::from_millis(cfg.budget_ms))
         .with_max_ii(max_ii);
-    let runs: Vec<MapperRun> = differential_mappers()
+    let mut runs: Vec<MapperRun> = differential_mappers()
         .iter()
         .map(|m| MapperRun {
             name: m.name().to_string(),
             outcome: m.map(dfg, cgra, &limits),
         })
         .collect();
+    // The exact SAT oracle is a gated fifth run, not a fifth differential
+    // mapper: its verdicts feed the `exact_verdict` layer (and its own
+    // mappings go through the structural/semantic/MII layers like anyone
+    // else's), but the four-mapper differential contract stays pinned
+    // when the layer is off.
+    if cfg.exact_budget_ms > 0 {
+        let exact_limits = limits.with_ii_time_budget(Duration::from_millis(cfg.exact_budget_ms));
+        let exact = ExactSatMapper::new();
+        runs.push(MapperRun {
+            name: exact.name().to_string(),
+            outcome: exact.map(dfg, cgra, &exact_limits),
+        });
+    }
     let oracle_cfg = OracleConfig {
         mii,
         max_ii,
@@ -162,10 +184,12 @@ impl SeedReport {
 }
 
 /// Stable one-line description of a mapper outcome (deliberately excludes
-/// elapsed time, the only nondeterministic field).
+/// elapsed time, the only nondeterministic field; the exact oracle's
+/// verdicts appear as labels only, since `Unknown` conflict counts depend
+/// on where a wall-clock deadline lands).
 fn outcome_line(run: &MapperRun) -> String {
     let st = &run.outcome.stats;
-    match st.achieved_ii {
+    let mut line = match st.achieved_ii {
         Some(ii) => format!(
             "{}: II {ii} (MII {}) after {} IIs, {} iterations",
             run.name, st.mii, st.iis_explored, st.remap_iterations
@@ -174,7 +198,16 @@ fn outcome_line(run: &MapperRun) -> String {
             "{}: failed (MII {}) after {} IIs, {} iterations",
             run.name, st.mii, st.iis_explored, st.remap_iterations
         ),
+    };
+    if !st.verdicts.is_empty() {
+        let vs: Vec<String> = st
+            .verdicts
+            .iter()
+            .map(|(ii, v)| format!("{ii}:{}", v.label()))
+            .collect();
+        line.push_str(&format!(" [{}]", vs.join(" ")));
     }
+    line
 }
 
 /// Fuzzes one seed end to end. Records metrics under the `fuzz` scope of
@@ -330,6 +363,7 @@ mod tests {
             extra_ii: 2,
             sim_iterations: 6,
             shrink_budget: 60,
+            exact_budget_ms: 0,
         }
     }
 
@@ -349,6 +383,34 @@ mod tests {
         let a = fuzz_one(11, &quick());
         let b = fuzz_one(11, &quick());
         assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn exact_oracle_layer_runs_clean_and_deterministic() {
+        let cfg = FuzzConfig {
+            exact_budget_ms: 20_000, // conflict budget binds, never the clock
+            ..quick()
+        };
+        for seed in 0..3 {
+            let a = fuzz_one(seed, &cfg);
+            assert!(a.clean(), "seed {seed}:\n{}", a.render());
+            assert_eq!(a.outcomes.len(), 5, "the exact oracle joined the run");
+            assert!(
+                a.outcomes[4].starts_with("Exact:"),
+                "gated run comes last: {}",
+                a.outcomes[4]
+            );
+            let b = fuzz_one(seed, &cfg);
+            assert_eq!(a.render(), b.render(), "seed {seed} diverged");
+        }
+    }
+
+    #[test]
+    fn exact_oracle_layer_is_off_by_default() {
+        assert_eq!(FuzzConfig::default().exact_budget_ms, 0);
+        let r = fuzz_one(0, &quick());
+        assert_eq!(r.outcomes.len(), 4);
+        assert!(!r.outcomes.iter().any(|o| o.starts_with("Exact:")));
     }
 
     #[test]

@@ -327,6 +327,7 @@ impl IiAttempt for SaAttempt<'_> {
             overuse: if mapping.is_some() { 0 } else { overuse },
             mapping,
             iterations,
+            verdict: None,
         }
     }
 }

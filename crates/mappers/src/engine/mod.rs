@@ -158,6 +158,40 @@ pub struct AttemptCtx<'a> {
     pub limits: &'a MapLimits,
 }
 
+/// A machine-checked claim about one II, produced by *exact* attempts.
+///
+/// The heuristic mappers never set a verdict: their failures are upper
+/// bounds ("didn't find a mapping"), not proofs. The exact SAT backend
+/// sets one per attempt, which is what lets the engine, the MII-tightness
+/// study, and the fuzz oracle treat a failure at an II as ground truth.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AttemptVerdict {
+    /// A mapping was found at this II *and* every lower II since MII was
+    /// proven infeasible in the same sweep — the II is exactly minimal.
+    Optimal,
+    /// UNSAT: no mapping exists at this II (within the encoder's shared
+    /// schedule horizon). A proof, trusted by the differential oracle.
+    InfeasibleAtII,
+    /// The deterministic conflict budget (or the wall-clock deadline)
+    /// fired before a verdict; `conflicts` is how much search was spent.
+    Unknown {
+        /// Conflicts spent before giving up.
+        conflicts: u64,
+    },
+}
+
+impl AttemptVerdict {
+    /// Stable label for traces and metrics: `"optimal"`,
+    /// `"infeasible"`, or `"unknown"`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttemptVerdict::Optimal => "optimal",
+            AttemptVerdict::InfeasibleAtII => "infeasible",
+            AttemptVerdict::Unknown { .. } => "unknown",
+        }
+    }
+}
+
 /// What one II attempt produced.
 #[derive(Debug, Default)]
 pub struct AttemptOutcome {
@@ -167,6 +201,10 @@ pub struct AttemptOutcome {
     pub iterations: u64,
     /// Residual resource overuse when the attempt failed (0 on success).
     pub overuse: u64,
+    /// Exact backends attach a machine-checked per-II verdict; heuristic
+    /// attempts leave `None`. The engine records it in
+    /// [`MapStats::verdicts`].
+    pub verdict: Option<AttemptVerdict>,
 }
 
 impl AttemptOutcome {
@@ -176,6 +214,7 @@ impl AttemptOutcome {
             mapping: None,
             iterations,
             overuse,
+            verdict: None,
         }
     }
 
@@ -185,7 +224,14 @@ impl AttemptOutcome {
             mapping: Some(mapping),
             iterations,
             overuse: 0,
+            verdict: None,
         }
+    }
+
+    /// Attaches an exact verdict to this outcome.
+    pub fn with_verdict(mut self, verdict: AttemptVerdict) -> Self {
+        self.verdict = Some(verdict);
+        self
     }
 }
 
@@ -338,6 +384,9 @@ impl<'a> IiSearch<'a> {
             obs::histogram("engine.attempt_us")
                 .record(u64::try_from(attempt_elapsed.as_micros()).unwrap_or(u64::MAX));
             stats.remap_iterations += outcome.iterations;
+            if let Some(verdict) = outcome.verdict {
+                stats.verdicts.push((ii, verdict));
+            }
             emitter.emit(MapEvent::AttemptFinished {
                 ii,
                 routed: outcome.mapping.is_some(),

@@ -31,6 +31,7 @@
 
 mod annealing;
 pub mod engine;
+mod exact;
 mod exhaustive;
 mod limits;
 mod mapping;
@@ -41,7 +42,8 @@ mod stats;
 mod traits;
 
 pub use annealing::{SaAttempt, SaConfig, SaMapper};
-pub use engine::{EventSink, IiAttempt, IiSearch, MapEvent, Silent};
+pub use engine::{AttemptVerdict, EventSink, IiAttempt, IiSearch, MapEvent, Silent};
+pub use exact::{ExactAttempt, ExactSatMapper};
 pub use exhaustive::{ExhaustiveAttempt, ExhaustiveMapper};
 pub use limits::MapLimits;
 pub use mapping::{Mapping, MappingIssue};

@@ -662,6 +662,7 @@ impl IiAttempt for PathFinderAttempt<'_> {
             overuse: if mapping.is_some() { 0 } else { overuse },
             mapping,
             iterations,
+            verdict: None,
         }
     }
 }

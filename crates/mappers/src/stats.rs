@@ -1,5 +1,6 @@
 //! Mapping statistics — the quantities Table I and Fig 6 report.
 
+use crate::engine::AttemptVerdict;
 use std::fmt;
 use std::time::Duration;
 
@@ -27,6 +28,12 @@ pub struct MapStats {
     pub negotiation_rounds: u64,
     /// Total wall-clock time.
     pub elapsed: Duration,
+    /// Machine-checked per-II verdicts, in exploration order. Only exact
+    /// backends produce them ([`AttemptOutcome::verdict`]); heuristic
+    /// mappers leave this empty.
+    ///
+    /// [`AttemptOutcome::verdict`]: crate::engine::AttemptOutcome::verdict
+    pub verdicts: Vec<(u32, AttemptVerdict)>,
 }
 
 impl MapStats {
@@ -50,6 +57,34 @@ impl MapStats {
     /// `Some(0)` is optimal, `Some(1)` near-optimal (the paper's terms).
     pub fn gap_to_mii(&self) -> Option<u32> {
         self.achieved_ii.map(|ii| ii.saturating_sub(self.mii))
+    }
+
+    /// The exact verdict recorded at `ii`, if any.
+    pub fn verdict_at(&self, ii: u32) -> Option<AttemptVerdict> {
+        self.verdicts
+            .iter()
+            .find(|(v_ii, _)| *v_ii == ii)
+            .map(|(_, v)| *v)
+    }
+
+    /// IIs this run *proved* infeasible
+    /// ([`AttemptVerdict::InfeasibleAtII`]), in ascending order.
+    pub fn proven_infeasible_iis(&self) -> Vec<u32> {
+        self.verdicts
+            .iter()
+            .filter(|(_, v)| *v == AttemptVerdict::InfeasibleAtII)
+            .map(|(ii, _)| *ii)
+            .collect()
+    }
+
+    /// `true` when the achieved II carries a machine-checked optimality
+    /// proof: the mapped attempt reported [`AttemptVerdict::Optimal`]
+    /// (every lower II since MII was UNSAT in the same sweep).
+    pub fn proven_optimal(&self) -> bool {
+        match self.achieved_ii {
+            Some(ii) => self.verdict_at(ii) == Some(AttemptVerdict::Optimal),
+            None => false,
+        }
     }
 }
 
@@ -95,6 +130,7 @@ mod tests {
             remap_iterations: 100,
             negotiation_rounds: 5,
             elapsed: Duration::from_millis(5),
+            ..MapStats::default()
         };
         assert_eq!(s.remap_iterations_per_ii(), 50.0);
         assert_eq!(s.gap_to_mii(), Some(1));
@@ -120,11 +156,52 @@ mod tests {
             remap_iterations: 123,
             negotiation_rounds: 5,
             elapsed: Duration::from_micros(12_300),
+            ..MapStats::default()
         };
         assert_eq!(
             s.to_string(),
             "PF*/fir: II 4 (MII 3) after 2 IIs, 123 iterations, 5 rounds, 12.3 ms"
         );
+    }
+
+    #[test]
+    fn verdict_helpers_read_the_sweep() {
+        let s = MapStats {
+            mii: 2,
+            achieved_ii: Some(4),
+            verdicts: vec![
+                (2, AttemptVerdict::InfeasibleAtII),
+                (3, AttemptVerdict::InfeasibleAtII),
+                (4, AttemptVerdict::Optimal),
+            ],
+            ..MapStats::default()
+        };
+        assert_eq!(s.verdict_at(3), Some(AttemptVerdict::InfeasibleAtII));
+        assert_eq!(s.verdict_at(5), None);
+        assert_eq!(s.proven_infeasible_iis(), vec![2, 3]);
+        assert!(s.proven_optimal());
+
+        let unknown = MapStats {
+            mii: 2,
+            achieved_ii: Some(3),
+            verdicts: vec![
+                (2, AttemptVerdict::Unknown { conflicts: 7 }),
+                (3, AttemptVerdict::Optimal),
+            ],
+            ..MapStats::default()
+        };
+        // The attempt decides Optimal, not these helpers; a well-behaved
+        // exact backend never labels Optimal above an Unknown, but the
+        // helper just reads what was recorded.
+        assert!(unknown.proven_optimal());
+        assert_eq!(
+            unknown.verdict_at(2),
+            Some(AttemptVerdict::Unknown { conflicts: 7 })
+        );
+        assert!(!MapStats::default().proven_optimal());
+        assert_eq!(AttemptVerdict::Optimal.label(), "optimal");
+        assert_eq!(AttemptVerdict::InfeasibleAtII.label(), "infeasible");
+        assert_eq!(AttemptVerdict::Unknown { conflicts: 0 }.label(), "unknown");
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! DIMACS CNF parsing and rendering.
+//!
+//! The standard interchange format, so encoder output can be dumped,
+//! inspected with external tools, and round-tripped in tests. The parser
+//! accepts comment lines (`c …`), a `p cnf VARS CLAUSES` header, and
+//! clauses as whitespace-separated signed integers terminated by `0`
+//! (clauses may span lines).
+
+use crate::Lit;
+use std::fmt::Write as _;
+
+/// A parsed CNF instance.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Dimacs {
+    /// Declared variable count (variables are `0..num_vars` after the
+    /// 1-based DIMACS codes are shifted down).
+    pub num_vars: usize,
+    /// The clauses, in file order.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Dimacs {
+    /// Builds a solver over this instance.
+    pub fn into_solver(&self) -> crate::Solver {
+        crate::Solver::from_clauses(self.num_vars, &self.clauses)
+    }
+}
+
+/// Parses DIMACS CNF text.
+///
+/// Errors (as readable strings) on a missing/malformed header, literals
+/// out of the declared range, an unterminated final clause, or a clause
+/// count that disagrees with the header.
+pub fn parse_dimacs(text: &str) -> Result<Dimacs, String> {
+    let mut header: Option<(usize, usize)> = None;
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if header.is_some() {
+                return Err(format!("line {}: duplicate header", lineno + 1));
+            }
+            let mut parts = rest.split_whitespace();
+            let fmt = parts.next().unwrap_or_default();
+            let vars = parts.next().and_then(|v| v.parse::<usize>().ok());
+            let num_clauses = parts.next().and_then(|v| v.parse::<usize>().ok());
+            match (fmt, vars, num_clauses, parts.next()) {
+                ("cnf", Some(v), Some(c), None) => header = Some((v, c)),
+                _ => return Err(format!("line {}: malformed header `{line}`", lineno + 1)),
+            }
+            continue;
+        }
+        let Some((num_vars, _)) = header else {
+            return Err(format!("line {}: clause before header", lineno + 1));
+        };
+        for tok in line.split_whitespace() {
+            let n: i64 = tok
+                .parse()
+                .map_err(|_| format!("line {}: bad literal `{tok}`", lineno + 1))?;
+            match Lit::from_dimacs(n) {
+                None => clauses.push(std::mem::take(&mut current)),
+                Some(l) => {
+                    if l.var().index() >= num_vars {
+                        return Err(format!(
+                            "line {}: literal {n} outside declared {num_vars} variables",
+                            lineno + 1
+                        ));
+                    }
+                    current.push(l);
+                }
+            }
+        }
+    }
+    let Some((num_vars, declared)) = header else {
+        return Err("missing `p cnf` header".to_string());
+    };
+    if !current.is_empty() {
+        return Err("unterminated final clause (missing trailing 0)".to_string());
+    }
+    if clauses.len() != declared {
+        return Err(format!(
+            "header declares {declared} clauses, file has {}",
+            clauses.len()
+        ));
+    }
+    Ok(Dimacs { num_vars, clauses })
+}
+
+/// Renders an instance as DIMACS CNF text (one clause per line,
+/// `0`-terminated). `parse_dimacs(render_dimacs(..))` is the identity on
+/// well-formed instances.
+pub fn render_dimacs(num_vars: usize, clauses: &[Vec<Lit>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {num_vars} {}", clauses.len());
+    for clause in clauses {
+        for l in clause {
+            let _ = write!(out, "{} ", l.to_dimacs());
+        }
+        out.push('0');
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn parses_comments_header_and_multiline_clauses() {
+        let text = "c a comment\n\np cnf 3 2\n1 -2\n3 0\n-1 2 -3 0\n";
+        let d = parse_dimacs(text).unwrap();
+        assert_eq!(d.num_vars, 3);
+        assert_eq!(d.clauses.len(), 2);
+        assert_eq!(d.clauses[0].len(), 3, "clauses may span lines");
+        assert_eq!(d.clauses[0][0].to_dimacs(), 1);
+        assert_eq!(d.clauses[0][1].to_dimacs(), -2);
+        assert_eq!(d.into_solver().solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn round_trips() {
+        let text = "p cnf 4 3\n1 2 0\n-3 4 0\n-1 -2 -4 0\n";
+        let d = parse_dimacs(text).unwrap();
+        let rendered = render_dimacs(d.num_vars, &d.clauses);
+        assert_eq!(parse_dimacs(&rendered).unwrap(), d);
+        assert_eq!(rendered, text, "canonical form is stable");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_dimacs("").unwrap_err().contains("missing"));
+        assert!(parse_dimacs("1 2 0\n").unwrap_err().contains("header"));
+        assert!(parse_dimacs("p cnf 2\n").unwrap_err().contains("malformed"));
+        assert!(parse_dimacs("p cnf 2 1\n1 3 0\n")
+            .unwrap_err()
+            .contains("outside"));
+        assert!(parse_dimacs("p cnf 2 1\n1 2\n")
+            .unwrap_err()
+            .contains("unterminated"));
+        assert!(parse_dimacs("p cnf 2 2\n1 0\n")
+            .unwrap_err()
+            .contains("declares"));
+        assert!(parse_dimacs("p cnf 2 1\nx y 0\n")
+            .unwrap_err()
+            .contains("bad literal"));
+        assert!(parse_dimacs("p cnf 1 0\np cnf 1 0\n")
+            .unwrap_err()
+            .contains("duplicate"));
+    }
+}

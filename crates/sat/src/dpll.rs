@@ -1,0 +1,132 @@
+//! Naive DPLL reference solver.
+//!
+//! Deliberately simple — recursive unit propagation plus
+//! first-unassigned-variable branching, no learning, no heuristics — so it
+//! can serve as an *independent* correctness oracle for the CDCL core in
+//! the property tests. Exponential; keep instances small (≲ 40 variables).
+
+use crate::Lit;
+
+/// Decides satisfiability of `clauses` over `num_vars` variables with a
+/// textbook DPLL search. Returns `true` iff some assignment satisfies
+/// every clause.
+pub fn dpll_satisfiable(num_vars: usize, clauses: &[Vec<Lit>]) -> bool {
+    let mut assign: Vec<Option<bool>> = vec![None; num_vars];
+    for c in clauses {
+        for l in c {
+            assert!(l.var().index() < num_vars, "literal out of range: {l}");
+        }
+    }
+    dpll(clauses, &mut assign)
+}
+
+fn lit_state(assign: &[Option<bool>], l: Lit) -> Option<bool> {
+    assign[l.var().index()].map(|v| v == l.is_positive())
+}
+
+/// Unit propagation to fixpoint. Returns `false` on an empty clause, and
+/// the list of variables it assigned (for undo) via `trail`.
+fn propagate(clauses: &[Vec<Lit>], assign: &mut [Option<bool>], trail: &mut Vec<usize>) -> bool {
+    loop {
+        let mut changed = false;
+        for c in clauses {
+            let mut unassigned: Option<Lit> = None;
+            let mut satisfied = false;
+            let mut open = 0usize;
+            for &l in c {
+                match lit_state(assign, l) {
+                    Some(true) => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => {
+                        open += 1;
+                        unassigned = Some(l);
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match (open, unassigned) {
+                (0, _) => return false, // falsified clause
+                (1, Some(l)) => {
+                    assign[l.var().index()] = Some(l.is_positive());
+                    trail.push(l.var().index());
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+}
+
+fn dpll(clauses: &[Vec<Lit>], assign: &mut Vec<Option<bool>>) -> bool {
+    let mut trail: Vec<usize> = Vec::new();
+    if !propagate(clauses, assign, &mut trail) {
+        for v in trail {
+            assign[v] = None;
+        }
+        return false;
+    }
+    let Some(branch) = assign.iter().position(Option::is_none) else {
+        // Complete assignment that survived propagation: a model.
+        for v in trail {
+            assign[v] = None;
+        }
+        return true;
+    };
+    for value in [false, true] {
+        assign[branch] = Some(value);
+        if dpll(clauses, assign) {
+            assign[branch] = None;
+            for v in trail {
+                assign[v] = None;
+            }
+            return true;
+        }
+        assign[branch] = None;
+    }
+    for v in trail {
+        assign[v] = None;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(ns: &[i64]) -> Vec<Lit> {
+        ns.iter().map(|&n| Lit::from_dimacs(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn simple_verdicts() {
+        assert!(dpll_satisfiable(0, &[]));
+        assert!(dpll_satisfiable(2, &[lits(&[1, 2]), lits(&[-1])]));
+        assert!(!dpll_satisfiable(1, &[lits(&[1]), lits(&[-1])]));
+        assert!(!dpll_satisfiable(2, &[lits(&[])]));
+    }
+
+    #[test]
+    fn pigeonhole_three_into_two() {
+        let v = |p: i64, h: i64| (p - 1) * 2 + h;
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        for p in 1..=3 {
+            clauses.push(lits(&[v(p, 1), v(p, 2)]));
+        }
+        for h in 1..=2 {
+            for p1 in 1..=3 {
+                for p2 in (p1 + 1)..=3 {
+                    clauses.push(lits(&[-v(p1, h), -v(p2, h)]));
+                }
+            }
+        }
+        assert!(!dpll_satisfiable(6, &clauses));
+    }
+}

@@ -1,0 +1,929 @@
+//! The CDCL solver core.
+
+use crate::{Lit, Var};
+
+/// Sentinel clause reference: "no reason" (decision or axiom).
+const CREF_NONE: u32 = u32::MAX;
+
+/// Truth values in the dense assignment table.
+const VAL_FALSE: u8 = 0;
+const VAL_TRUE: u8 = 1;
+const VAL_UNDEF: u8 = 2;
+
+/// Conflicts between interrupt-callback polls (cheap, deterministic).
+const POLL_MASK: u64 = 1023;
+
+/// Base restart interval in conflicts; scaled by the Luby sequence.
+const RESTART_BASE: u64 = 64;
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A model was found; read it back with [`Solver::value`].
+    Sat,
+    /// The clause set is unsatisfiable — a proof, not a timeout.
+    Unsat,
+    /// The conflict budget (or interrupt callback) fired first.
+    Unknown,
+}
+
+/// Deterministic work counters, mirrored into `rewire-obs` by callers.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct SolverStats {
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Conflicts analysed (the budget unit).
+    pub conflicts: u64,
+    /// Single literal propagations.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Clauses learnt (including units).
+    pub learnt_clauses: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    activity: f64,
+    learnt: bool,
+    deleted: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: u32,
+    blocker: Lit,
+}
+
+/// Max-heap over variables ordered by activity, ties toward the lower
+/// index — the determinism-critical piece of VSIDS.
+#[derive(Default, Debug)]
+struct VarOrder {
+    heap: Vec<u32>,
+    /// Position of each variable in `heap`, or `usize::MAX` when absent.
+    pos: Vec<usize>,
+}
+
+impl VarOrder {
+    fn ensure(&mut self, n: usize, activity: &[f64]) {
+        while self.pos.len() < n {
+            let v = self.pos.len() as u32;
+            self.pos.push(usize::MAX);
+            self.insert(v, activity);
+        }
+    }
+
+    fn before(a: u32, b: u32, activity: &[f64]) -> bool {
+        let (aa, ab) = (
+            activity.get(a as usize).copied().unwrap_or(0.0),
+            activity.get(b as usize).copied().unwrap_or(0.0),
+        );
+        aa > ab || (aa == ab && a < b)
+    }
+
+    fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] != usize::MAX
+    }
+
+    fn insert(&mut self, v: u32, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len();
+        self.heap.push(v);
+        self.up(self.heap.len() - 1, activity);
+    }
+
+    fn bump(&mut self, v: u32, activity: &[f64]) {
+        if self.contains(v) {
+            self.up(self.pos[v as usize], activity);
+        }
+    }
+
+    fn pop(&mut self, activity: &[f64]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top as usize] = usize::MAX;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if Self::before(self.heap[i], self.heap[parent], activity) {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && Self::before(self.heap[l], self.heap[best], activity) {
+                best = l;
+            }
+            if r < self.heap.len() && Self::before(self.heap[r], self.heap[best], activity) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = i;
+        self.pos[self.heap[j] as usize] = j;
+    }
+}
+
+/// A deterministic CDCL solver. See the [crate docs](crate) for the
+/// guarantees and the overall recipe.
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    learnt_refs: Vec<u32>,
+    watches: Vec<Vec<Watcher>>,
+    assign: Vec<u8>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    polarity: Vec<bool>,
+    order: VarOrder,
+    seen: Vec<bool>,
+    ok: bool,
+    stats: SolverStats,
+    /// Learnt clauses tolerated before a reduction pass; grows geometrically.
+    reduce_limit: u64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// An empty solver (no variables, no clauses — trivially SAT).
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            learnt_refs: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            polarity: Vec::new(),
+            order: VarOrder::default(),
+            seen: Vec::new(),
+            ok: true,
+            stats: SolverStats::default(),
+            reduce_limit: 4000,
+        }
+    }
+
+    /// Builds a solver over `num_vars` variables holding `clauses`.
+    pub fn from_clauses(num_vars: usize, clauses: &[Vec<Lit>]) -> Solver {
+        let mut s = Solver::new();
+        s.reserve_vars(num_vars);
+        for c in clauses {
+            s.add_clause(c);
+        }
+        s
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assign.len());
+        self.assign.push(VAL_UNDEF);
+        self.level.push(0);
+        self.reason.push(CREF_NONE);
+        self.activity.push(0.0);
+        // Saved phase defaults to `false`: one-hot encodings are mostly
+        // negative, so the first probe of a fresh variable rarely conflicts.
+        self.polarity.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.ensure(self.assign.len(), &self.activity);
+        v
+    }
+
+    /// Allocates variables until at least `n` exist.
+    pub fn reserve_vars(&mut self, n: usize) {
+        while self.assign.len() < n {
+            self.new_var();
+        }
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of problem (non-learnt, live) clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses
+            .iter()
+            .filter(|c| !c.learnt && !c.deleted)
+            .count()
+    }
+
+    /// Work counters so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Adds a clause. Returns `false` when the clause set is already known
+    /// unsatisfiable at the root level (adding is then a no-op).
+    ///
+    /// Tautologies are dropped, duplicate literals merged, and root-level
+    /// falsified literals removed. Must be called before [`solve`]; adding
+    /// clauses between solve calls is not supported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any literal's variable was not allocated, or if called
+    /// mid-search (non-root decision level).
+    ///
+    /// [`solve`]: Solver::solve
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert_eq!(self.decision_level(), 0, "clauses are added at the root");
+        if !self.ok {
+            return false;
+        }
+        // Normalise: sort (deterministic), merge duplicates, drop the
+        // clause on p ∨ ¬p, and drop root-falsified / keep-free literals.
+        let mut sorted: Vec<Lit> = lits.to_vec();
+        for l in &sorted {
+            assert!(l.var().index() < self.num_vars(), "unallocated {l}");
+        }
+        sorted.sort();
+        sorted.dedup();
+        let mut clause: Vec<Lit> = Vec::with_capacity(sorted.len());
+        for (i, &l) in sorted.iter().enumerate() {
+            if i + 1 < sorted.len() && sorted[i + 1] == !l {
+                return true; // tautology
+            }
+            match self.lit_value(l) {
+                VAL_TRUE => return true, // already satisfied at root
+                VAL_FALSE => {}          // root-falsified: drop the literal
+                _ => clause.push(l),
+            }
+        }
+        match clause.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(clause[0], CREF_NONE);
+                // Propagate eagerly so later add_clause calls see the
+                // consequences and root-level UNSAT is caught immediately.
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(clause, false);
+                true
+            }
+        }
+    }
+
+    /// Solves without a conflict budget. Deterministic; terminates because
+    /// the clause set is finite, but may take exponential time.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_limited(u64::MAX, &mut || false)
+    }
+
+    /// Solves under a *total* conflict budget (across the solver's
+    /// lifetime, so repeated calls resume where the budget left off), with
+    /// an interrupt callback polled every 1024 conflicts.
+    ///
+    /// `Sat` and `Unsat` are definitive; `Unknown` means the budget or the
+    /// callback fired. The callback is for *secondary* wall-clock bail-outs
+    /// only — for reproducible verdicts rely on the conflict budget.
+    pub fn solve_limited(
+        &mut self,
+        max_conflicts: u64,
+        should_stop: &mut dyn FnMut() -> bool,
+    ) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+        let mut restarts = 0u64;
+        loop {
+            let budget = luby(restarts) * RESTART_BASE;
+            match self.search(budget, max_conflicts, should_stop) {
+                Search::Sat => {
+                    debug_assert!(self.model_satisfies_all(), "model re-check");
+                    return SolveResult::Sat;
+                }
+                Search::Unsat => {
+                    self.ok = false;
+                    return SolveResult::Unsat;
+                }
+                Search::Restart => {
+                    restarts += 1;
+                    self.stats.restarts += 1;
+                    self.cancel_until(0);
+                }
+                Search::Stopped => {
+                    self.cancel_until(0);
+                    return SolveResult::Unknown;
+                }
+            }
+        }
+    }
+
+    /// The value of `v` in the current (complete after `Sat`) assignment.
+    pub fn value(&self, v: Var) -> Option<bool> {
+        match self.assign[v.index()] {
+            VAL_TRUE => Some(true),
+            VAL_FALSE => Some(false),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Search.
+
+    fn search(
+        &mut self,
+        restart_budget: u64,
+        max_conflicts: u64,
+        should_stop: &mut dyn FnMut() -> bool,
+    ) -> Search {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    return Search::Unsat;
+                }
+                let (learnt, backtrack) = self.analyze(confl);
+                self.cancel_until(backtrack);
+                self.record_learnt(learnt);
+                self.decay_activities();
+                if self.stats.conflicts >= max_conflicts
+                    || (self.stats.conflicts & POLL_MASK == 0 && should_stop())
+                {
+                    return Search::Stopped;
+                }
+            } else {
+                if conflicts_here >= restart_budget {
+                    return Search::Restart;
+                }
+                if self.learnt_refs.len() as u64 >= self.reduce_limit {
+                    self.reduce_learnt_db();
+                }
+                match self.pick_branch_var() {
+                    None => return Search::Sat,
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let lit = Lit::new(v, self.polarity[v.index()]);
+                        self.unchecked_enqueue(lit, CREF_NONE);
+                    }
+                }
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn lit_value(&self, l: Lit) -> u8 {
+        match self.assign[l.var().index()] {
+            VAL_UNDEF => VAL_UNDEF,
+            v => {
+                if l.is_positive() {
+                    v
+                } else {
+                    v ^ 1
+                }
+            }
+        }
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert_eq!(self.lit_value(l), VAL_UNDEF);
+        let v = l.var().index();
+        self.assign[v] = if l.is_positive() { VAL_TRUE } else { VAL_FALSE };
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Propagates until fixpoint; returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            // Clauses watching ¬p must be visited now that p is true.
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut keep = 0usize;
+            let mut conflict = None;
+            'watchers: for i in 0..ws.len() {
+                let w = ws[i];
+                if self.lit_value(w.blocker) == VAL_TRUE {
+                    ws[keep] = w;
+                    keep += 1;
+                    continue;
+                }
+                let cref = w.cref as usize;
+                let false_lit = !p;
+                // Make sure the falsified watch sits in slot 1.
+                if self.clauses[cref].lits[0] == false_lit {
+                    self.clauses[cref].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
+                let first = self.clauses[cref].lits[0];
+                if first != w.blocker && self.lit_value(first) == VAL_TRUE {
+                    ws[keep] = Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    };
+                    keep += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                for k in 2..self.clauses[cref].lits.len() {
+                    if self.lit_value(self.clauses[cref].lits[k]) != VAL_FALSE {
+                        self.clauses[cref].lits.swap(1, k);
+                        let new_watch = self.clauses[cref].lits[1];
+                        self.watches[(!new_watch).code()].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // Unit or conflicting.
+                ws[keep] = Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                };
+                keep += 1;
+                if self.lit_value(first) == VAL_FALSE {
+                    // Conflict: keep remaining watchers and stop.
+                    for j in i + 1..ws.len() {
+                        ws[keep] = ws[j];
+                        keep += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    conflict = Some(w.cref);
+                    break;
+                }
+                self.unchecked_enqueue(first, w.cref);
+            }
+            ws.truncate(keep);
+            debug_assert!(self.watches[p.code()].is_empty());
+            self.watches[p.code()] = ws;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::positive(Var::from_index(0))]; // slot 0 patched below
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut cref = confl;
+        let mut idx = self.trail.len();
+        let mut to_clear: Vec<Var> = Vec::new();
+        loop {
+            self.bump_clause(cref as usize);
+            let start = usize::from(p.is_some());
+            for k in start..self.clauses[cref as usize].lits.len() {
+                let q = self.clauses[cref as usize].lits[k];
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    to_clear.push(v);
+                    self.bump_var(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk back to the next marked trail literal.
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[idx];
+            self.seen[lit.var().index()] = false;
+            counter -= 1;
+            p = Some(lit);
+            if counter == 0 {
+                break;
+            }
+            cref = self.reason[lit.var().index()];
+            debug_assert_ne!(cref, CREF_NONE, "non-UIP literal has a reason");
+        }
+        learnt[0] = !p.expect("first UIP found");
+        for v in to_clear {
+            self.seen[v.index()] = false;
+        }
+        // Backtrack to the second-highest level in the clause; hoist that
+        // literal into slot 1 so it becomes the other watch.
+        if learnt.len() == 1 {
+            return (learnt, 0);
+        }
+        let mut max_i = 1;
+        for i in 2..learnt.len() {
+            if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                max_i = i;
+            }
+        }
+        learnt.swap(1, max_i);
+        let backtrack = self.level[learnt[1].var().index()];
+        (learnt, backtrack)
+    }
+
+    fn record_learnt(&mut self, learnt: Vec<Lit>) {
+        self.stats.learnt_clauses += 1;
+        if learnt.len() == 1 {
+            debug_assert_eq!(self.decision_level(), 0);
+            self.unchecked_enqueue(learnt[0], CREF_NONE);
+            return;
+        }
+        let asserting = learnt[0];
+        let cref = self.attach_clause(learnt, true);
+        self.bump_clause(cref as usize);
+        self.unchecked_enqueue(asserting, cref);
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as u32;
+        self.watches[(!lits[0]).code()].push(Watcher {
+            cref,
+            blocker: lits[1],
+        });
+        self.watches[(!lits[1]).code()].push(Watcher {
+            cref,
+            blocker: lits[0],
+        });
+        self.clauses.push(Clause {
+            lits,
+            activity: 0.0,
+            learnt,
+            deleted: false,
+        });
+        if learnt {
+            self.learnt_refs.push(cref);
+        }
+        cref
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            // Phase saving: next decision on v re-tries this value.
+            self.polarity[v.index()] = l.is_positive();
+            self.assign[v.index()] = VAL_UNDEF;
+            self.reason[v.index()] = CREF_NONE;
+            self.order.insert(v.index() as u32, &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        loop {
+            let v = self.order.pop(&self.activity)?;
+            if self.assign[v as usize] == VAL_UNDEF {
+                return Some(Var::from_index(v as usize));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Activities.
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bump(v.index() as u32, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: usize) {
+        if !self.clauses[cref].learnt {
+            return;
+        }
+        self.clauses[cref].activity += self.cla_inc;
+        if self.clauses[cref].activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+        self.cla_inc /= 0.999;
+    }
+
+    // ------------------------------------------------------------------
+    // Learnt-clause reduction.
+
+    fn is_locked(&self, cref: u32) -> bool {
+        let first = self.clauses[cref as usize].lits[0];
+        self.lit_value(first) == VAL_TRUE && self.reason[first.var().index()] == cref
+    }
+
+    /// Drops the lower-activity half of the learnt clauses (binary and
+    /// locked clauses survive). Deterministic: ties sort by clause index.
+    fn reduce_learnt_db(&mut self) {
+        let mut ranked = self.learnt_refs.clone();
+        ranked.sort_by(|&a, &b| {
+            let (ca, cb) = (&self.clauses[a as usize], &self.clauses[b as usize]);
+            ca.activity
+                .partial_cmp(&cb.activity)
+                .expect("activities are finite")
+                .then(a.cmp(&b))
+        });
+        let goal = ranked.len() / 2;
+        let mut removed = 0usize;
+        for &cref in &ranked {
+            if removed >= goal {
+                break;
+            }
+            let c = &self.clauses[cref as usize];
+            if c.lits.len() <= 2 || self.is_locked(cref) {
+                continue;
+            }
+            self.detach_clause(cref);
+            removed += 1;
+        }
+        self.learnt_refs
+            .retain(|&c| !self.clauses[c as usize].deleted);
+        self.reduce_limit += self.reduce_limit / 2;
+    }
+
+    fn detach_clause(&mut self, cref: u32) {
+        let (w0, w1) = {
+            let c = &self.clauses[cref as usize];
+            (!c.lits[0], !c.lits[1])
+        };
+        self.watches[w0.code()].retain(|w| w.cref != cref);
+        self.watches[w1.code()].retain(|w| w.cref != cref);
+        self.clauses[cref as usize].deleted = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Model checking.
+
+    fn model_satisfies_all(&self) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.deleted || c.learnt || c.lits.iter().any(|&l| self.lit_value(l) == VAL_TRUE))
+    }
+}
+
+enum Search {
+    Sat,
+    Unsat,
+    Restart,
+    Stopped,
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8…
+fn luby(mut i: u64) -> u64 {
+    // Find the finite subsequence containing index i, then recurse.
+    let (mut k, mut size) = (1u32, 1u64);
+    while size < i + 1 {
+        k += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != i {
+        size = (size - 1) / 2;
+        k -= 1;
+        i %= size;
+    }
+    1u64 << (k - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(n: i64) -> Lit {
+        Lit::from_dimacs(n).unwrap()
+    }
+
+    fn solver_for(num_vars: usize, clauses: &[&[i64]]) -> Solver {
+        let built: Vec<Vec<Lit>> = clauses
+            .iter()
+            .map(|c| c.iter().map(|&n| lit(n)).collect())
+            .collect();
+        Solver::from_clauses(num_vars, &built)
+    }
+
+    #[test]
+    fn empty_problem_is_sat() {
+        assert_eq!(Solver::new().solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unit_clauses_fix_the_model() {
+        let mut s = solver_for(2, &[&[1], &[-2]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(Var::from_index(0)), Some(true));
+        assert_eq!(s.value(Var::from_index(1)), Some(false));
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat_at_add_time() {
+        let mut s = Solver::new();
+        s.reserve_vars(1);
+        assert!(s.add_clause(&[lit(1)]));
+        assert!(!s.add_clause(&[lit(-1)]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautologies_and_duplicates_are_normalised_away() {
+        let mut s = Solver::new();
+        s.reserve_vars(2);
+        assert!(s.add_clause(&[lit(1), lit(-1)]));
+        assert!(s.add_clause(&[lit(2), lit(2)]));
+        assert_eq!(s.num_clauses(), 0, "tautology dropped, unit propagated");
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(Var::from_index(1)), Some(true));
+    }
+
+    #[test]
+    fn pigeonhole_two_into_one_is_unsat() {
+        // Two pigeons, one hole: x1 = pigeon 1 in hole, x2 = pigeon 2.
+        let mut s = solver_for(2, &[&[1], &[2], &[-1, -2]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_three_into_two_is_unsat_through_search() {
+        // p{i}h{j}: 3 pigeons × 2 holes — needs genuine conflict analysis.
+        let v = |p: i64, h: i64| (p - 1) * 2 + h; // 1-based var codes
+        let mut clauses: Vec<Vec<i64>> = Vec::new();
+        for p in 1..=3 {
+            clauses.push(vec![v(p, 1), v(p, 2)]);
+        }
+        for h in 1..=2 {
+            for p1 in 1..=3 {
+                for p2 in (p1 + 1)..=3 {
+                    clauses.push(vec![-v(p1, h), -v(p2, h)]);
+                }
+            }
+        }
+        let refs: Vec<&[i64]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_for(6, &refs);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0, "required real search");
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown_and_can_resume() {
+        // A hard-ish pigeonhole (5 pigeons, 4 holes) under a 1-conflict
+        // budget must give up; re-solving without a budget finishes it.
+        let v = |p: i64, h: i64| (p - 1) * 4 + h;
+        let mut clauses: Vec<Vec<i64>> = Vec::new();
+        for p in 1..=5 {
+            clauses.push((1..=4).map(|h| v(p, h)).collect());
+        }
+        for h in 1..=4 {
+            for p1 in 1..=5 {
+                for p2 in (p1 + 1)..=5 {
+                    clauses.push(vec![-v(p1, h), -v(p2, h)]);
+                }
+            }
+        }
+        let refs: Vec<&[i64]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_for(20, &refs);
+        assert_eq!(s.solve_limited(1, &mut || false), SolveResult::Unknown);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn interrupt_callback_stops_the_search() {
+        // 11 pigeons into 10 holes: far beyond 1024 conflicts, so the
+        // poll is guaranteed to fire before the refutation completes.
+        let v = |p: i64, h: i64| (p - 1) * 10 + h;
+        let mut clauses: Vec<Vec<i64>> = Vec::new();
+        for p in 1..=11 {
+            clauses.push((1..=10).map(|h| v(p, h)).collect());
+        }
+        for h in 1..=10 {
+            for p1 in 1..=11 {
+                for p2 in (p1 + 1)..=11 {
+                    clauses.push(vec![-v(p1, h), -v(p2, h)]);
+                }
+            }
+        }
+        let refs: Vec<&[i64]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_for(110, &refs);
+        let mut polls = 0u32;
+        let res = s.solve_limited(u64::MAX, &mut || {
+            polls += 1;
+            true
+        });
+        assert_eq!(res, SolveResult::Unknown);
+        assert!(polls >= 1);
+    }
+
+    #[test]
+    fn learnt_db_reduction_preserves_the_verdict() {
+        let v = |p: i64, h: i64| (p - 1) * 5 + h;
+        let mut clauses: Vec<Vec<i64>> = Vec::new();
+        for p in 1..=6 {
+            clauses.push((1..=5).map(|h| v(p, h)).collect());
+        }
+        for h in 1..=5 {
+            for p1 in 1..=6 {
+                for p2 in (p1 + 1)..=6 {
+                    clauses.push(vec![-v(p1, h), -v(p2, h)]);
+                }
+            }
+        }
+        let refs: Vec<&[i64]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_for(30, &refs);
+        s.reduce_limit = 8; // force reduction passes during this search
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let prefix: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(prefix, [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let mut s = solver_for(3, &[&[1, 2, 3], &[-1, -2], &[-1, -3], &[-2, -3]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let st = s.stats();
+        assert!(st.decisions >= 1);
+        assert!(st.propagations >= 1);
+    }
+}

@@ -154,7 +154,8 @@ usage: rewire-map (--kernel <name> | --dfg <file> | --artifact <file>) [options]
   --rows R --cols C --regs N       custom fabric dimensions
   --banks B --mem-cols 0,3         memory banks and memory columns
   --torus                          wrap-around links
-  --mapper rewire|pf|sa            mapper (default rewire)
+  --mapper rewire|pf|sa|exact      mapper (default rewire; exact = SAT backend with
+                                   per-II optimality/infeasibility proofs)
   --budget-ms N                    per-II wall-clock budget (default 2000)
   --max-ii N                       II ceiling (default 20, or the artifact's)
   --seed N                         RNG seed
@@ -277,8 +278,9 @@ fn main() -> ExitCode {
         "rewire" => Box::new(RewireMapper::new()),
         "pf" => Box::new(PathFinderMapper::new()),
         "sa" => Box::new(SaMapper::new()),
+        "exact" => Box::new(ExactSatMapper::new()),
         other => {
-            eprintln!("unknown --mapper `{other}` (rewire|pf|sa)");
+            eprintln!("unknown --mapper `{other}` (rewire|pf|sa|exact)");
             return ExitCode::from(2);
         }
     };
@@ -352,11 +354,26 @@ fn main() -> ExitCode {
     }
     // The one-line summary below is the same `MapStats` Display that
     // `rewire-report` prints per run, so the two tools read identically.
+    let report_verdicts = |stats: &MapStats| {
+        if !stats.verdicts.is_empty() {
+            let line: Vec<String> = stats
+                .verdicts
+                .iter()
+                .map(|(ii, v)| format!("II {ii}: {}", v.label()))
+                .collect();
+            println!("verdicts: {}", line.join(", "));
+            if stats.proven_optimal() {
+                println!("achieved II is PROVEN optimal (every lower II refuted by SAT)");
+            }
+        }
+    };
     let Some(mapping) = &outcome.mapping else {
         eprintln!("{}", outcome.stats);
+        report_verdicts(&outcome.stats);
         return ExitCode::from(1);
     };
     println!("{}", outcome.stats);
+    report_verdicts(&outcome.stats);
     println!(
         "throughput 1/{} iter/cycle, pipeline fill {} cycles, 1000 iterations take {} cycles",
         mapping.ii(),

@@ -52,7 +52,8 @@ pub mod prelude {
         EventSink, JsonlTrace, MapEvent, MetricsSink, Silent, StderrProgress,
     };
     pub use rewire_mappers::{
-        MapLimits, MapOutcome, MapStats, Mapper, Mapping, PathFinderMapper, SaMapper,
+        AttemptVerdict, ExactSatMapper, MapLimits, MapOutcome, MapStats, Mapper, Mapping,
+        PathFinderMapper, SaMapper,
     };
     pub use rewire_mrrg::{Mrrg, Occupancy, Route, Router, RouterMode, UnitCost};
     pub use rewire_sim::{verify_semantics, Inputs};

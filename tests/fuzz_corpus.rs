@@ -25,10 +25,14 @@ fn corpus_dir() -> PathBuf {
 
 /// Generous budgets so wall clocks never bind in debug CI runs; the
 /// deterministic caps inside `differential_mappers` do the bounding.
+/// The exact SAT oracle runs on every replay so corpus artifacts pin
+/// its verdicts too — the conflict budget, not the wall clock, bounds
+/// it at this setting.
 fn replay_cfg() -> FuzzConfig {
     FuzzConfig {
         budget_ms: 10_000,
         sim_iterations: 8,
+        exact_budget_ms: 20_000,
         ..FuzzConfig::default()
     }
 }

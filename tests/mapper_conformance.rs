@@ -1,7 +1,7 @@
 //! The shared `Mapper` conformance suite: every mapper in the workspace —
-//! Rewire, PF*, and SA — must satisfy the documented contract of
-//! `Mapper::map` / `map_with_events`, now that all of them route through
-//! the shared `IiSearch` engine.
+//! Rewire, PF*, SA, and the exact SAT backend — must satisfy the
+//! documented contract of `Mapper::map` / `map_with_events`, now that all
+//! of them route through the shared `IiSearch` engine.
 //!
 //! Audited invariants:
 //!
@@ -16,12 +16,15 @@ use rewire::prelude::*;
 use rewire_mappers::engine::{EventSink, GiveUpReason, MapEvent, RunMeta};
 use std::time::Duration;
 
-/// The three mappers of the evaluation, freshly built per call.
+/// The heuristic mappers of the evaluation plus the exact SAT backend,
+/// freshly built per call. The exact backend must honor the same engine
+/// contract as the heuristics — same event shapes, same give-up paths.
 fn mappers() -> Vec<Box<dyn Mapper>> {
     vec![
         Box::new(RewireMapper::new()),
         Box::new(PathFinderMapper::new()),
         Box::new(SaMapper::new()),
+        Box::new(ExactSatMapper::new()),
     ]
 }
 
