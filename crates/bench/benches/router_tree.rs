@@ -1,0 +1,156 @@
+//! Tree vs per-edge fan-out routing: wall time for a broadcast hub under
+//! both strategies, plus hard correctness gates before anything is timed —
+//! the shared route tree must never occupy more distinct cells nor expand
+//! more DP states than the per-edge arm, must actually reuse trunk cells
+//! on the fan-out-8 corner (the `router.tree_reuse` counter), and must
+//! decode into a valid [`RouteTree`]. CI runs this bench, so a
+//! consolidation regression fails the build even if no unit test covers
+//! the offending fan-out shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rewire_arch::{presets, Cgra, Coord};
+use rewire_dfg::NodeId;
+use rewire_mrrg::{Mrrg, Occupancy, Resource, Route, RouteRequest, RouteTree, Router, UnitCost};
+use rewire_obs as obs;
+use std::collections::HashSet;
+
+/// A broadcast hub in the corner: one producer at (0,0) fanning out to
+/// `n` sinks spread over the far half of the fabric, with per-sink slack
+/// so the branches have genuinely different lengths (the shape trunk
+/// sharing exists for).
+fn fanout_requests(cgra: &Cgra, n: usize) -> Vec<RouteRequest> {
+    let src = cgra.pe_at(Coord::new(0, 0)).unwrap().id();
+    (0..n)
+        .map(|i| {
+            let row = 3 + (i as u16) % 5;
+            let col = 7 - (i as u16) % 3;
+            let dst = cgra.pe_at(Coord::new(row, col)).unwrap().id();
+            let dist = (row + col) as u32; // Manhattan distance from (0,0)
+            RouteRequest {
+                signal: NodeId::new(0),
+                src_pe: src,
+                depart_cycle: 1,
+                dst_pe: dst,
+                arrive_cycle: 1 + dist + (i as u32) % 3,
+            }
+        })
+        .collect()
+}
+
+/// Routes every request independently (the per-edge arm), claiming each
+/// route before the next so later branches see earlier ones, then releases
+/// everything. Returns the routes in request order.
+fn route_per_edge(router: &Router, occ: &mut Occupancy, reqs: &[RouteRequest]) -> Vec<Route> {
+    let routes: Vec<Route> = reqs
+        .iter()
+        .map(|req| {
+            let route = router
+                .route(occ, req, &UnitCost)
+                .expect("per-edge branch routes on the open fabric");
+            occ.claim_route(&route);
+            route
+        })
+        .collect();
+    for route in &routes {
+        occ.release_route(route);
+    }
+    routes
+}
+
+/// Distinct MRRG cells across all branches of one signal's fan-out.
+fn footprint(routes: &[Route]) -> usize {
+    routes
+        .iter()
+        .flat_map(|r| r.resources().iter().copied())
+        .collect::<HashSet<Resource>>()
+        .len()
+}
+
+fn counter_in(scope: &str, name: &str) -> u64 {
+    obs::metrics()
+        .snapshot()
+        .scopes
+        .get(scope)
+        .and_then(|s| s.counters.get(name).copied())
+        .unwrap_or(0)
+}
+
+fn bench_router_tree(c: &mut Criterion) {
+    let cgra = presets::paper_8x8_r4();
+    let mrrg = Mrrg::new(&cgra, 4);
+    let router = Router::new(&cgra, &mrrg);
+
+    // Correctness gates first, outside the timed loops.
+    for n in [2usize, 4, 8] {
+        let reqs = fanout_requests(&cgra, n);
+        let mut occ = Occupancy::new(&mrrg);
+        let exp_pe_before = counter_in("bench/router_tree/pe", "router.expansions");
+        let per_edge = {
+            let _scope = obs::scope("bench/router_tree/pe".to_string());
+            route_per_edge(&router, &mut occ, &reqs)
+        };
+        let exp_pe = counter_in("bench/router_tree/pe", "router.expansions") - exp_pe_before;
+        let reuse_before = counter_in("bench/router_tree/tree", "router.tree_reuse");
+        let exp_tree_before = counter_in("bench/router_tree/tree", "router.expansions");
+        let tree = {
+            let _scope = obs::scope("bench/router_tree/tree".to_string());
+            router
+                .route_fanout(&mut occ, &reqs, &UnitCost)
+                .expect("tree fan-out routes on the open fabric")
+        };
+        assert_eq!(occ.used_cells(), 0, "route_fanout must leave occ untouched");
+        let reuse = counter_in("bench/router_tree/tree", "router.tree_reuse") - reuse_before;
+        let exp_tree = counter_in("bench/router_tree/tree", "router.expansions") - exp_tree_before;
+
+        // The decoded tree certifies acyclicity, the common root, and
+        // equal-phase-only sharing; branches must arrive on schedule.
+        let decoded = RouteTree::from_branches(tree.clone()).expect("valid route tree");
+        assert_eq!(decoded.num_branches(), n);
+        for (route, req) in tree.iter().zip(&reqs) {
+            assert_eq!(
+                route.request(),
+                req,
+                "branches must come back in request order"
+            );
+        }
+
+        let fp_pe = footprint(&per_edge);
+        let fp_tree = footprint(&tree);
+        assert!(
+            fp_tree <= fp_pe,
+            "tree fan-out occupies more cells than per-edge at n={n}: {fp_tree} > {fp_pe}"
+        );
+        // TreeCost re-prices cells but never widens the DP sweep, so the
+        // tree arm must not expand more states than per-edge (today they
+        // are equal; the gate guards the never-more direction).
+        assert!(
+            exp_tree <= exp_pe,
+            "tree fan-out expanded more states than per-edge at n={n}: {exp_tree} > {exp_pe}"
+        );
+        if n == 8 {
+            // The fan-out-8 corner is the shape trunk sharing exists for:
+            // the tree arm must demonstrably reuse cells across branches.
+            assert!(reuse > 0, "no trunk reuse on the fan-out-8 corner");
+        }
+        eprintln!(
+            "router_tree gate: n={n}: per-edge {fp_pe} -> tree {fp_tree} cells, \
+             reuse {reuse}, expansions {exp_pe} -> {exp_tree}"
+        );
+    }
+
+    let mut group = c.benchmark_group("router_tree");
+    group.sample_size(50);
+    let reqs = fanout_requests(&cgra, 8);
+    group.bench_function("fanout_8/per_edge", |b| {
+        let mut occ = Occupancy::new(&mrrg);
+        b.iter(|| route_per_edge(&router, &mut occ, &reqs))
+    });
+    group.bench_function("fanout_8/tree", |b| {
+        let mut occ = Occupancy::new(&mrrg);
+        b.iter(|| router.route_fanout(&mut occ, &reqs, &UnitCost).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_router_tree);
+criterion_main!(benches);

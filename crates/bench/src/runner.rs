@@ -312,6 +312,11 @@ pub struct BenchArgs {
     /// outcomes are byte-identical by construction, only the expansion
     /// counts differ.
     pub router: rewire_mrrg::RouterMode,
+    /// Fan-out mode (`--router tree|per-edge`, default tree). Tree mode
+    /// routes multi-sink signals as shared route trees; per-edge is the
+    /// independent-path baseline the differential gates compare against.
+    /// Orthogonal to the sweep mode — the `--router` flag is repeatable.
+    pub fanout: rewire_mrrg::FanoutMode,
 }
 
 impl BenchArgs {
@@ -430,13 +435,16 @@ impl BenchArgs {
 /// budget in seconds plus optional `--jobs N` (or `--jobs=N`),
 /// `--trace FILE` (or `--trace=FILE`), `--metrics FILE` (or
 /// `--metrics=FILE`), `--kernels a,b` (or `--kernels=a,b`) and
-/// `--router dense|pruned` (or `--router=MODE`) flags.
+/// `--router dense|pruned|tree|per-edge` (or `--router=MODE`) flags. The
+/// `--router` flag is repeatable: `dense|pruned` picks the DP sweep mode,
+/// `tree|per-edge` the fan-out mode, and the two compose.
 ///
-/// Installs the parsed router mode as the process default, so every
-/// mapper thread the experiment spawns inherits it.
+/// Installs the parsed router and fan-out modes as the process defaults,
+/// so every mapper thread the experiment spawns inherits them.
 pub fn parse_cli(default_secs: f64) -> BenchArgs {
     let parsed = parse_cli_from(std::env::args().skip(1), default_secs);
     rewire_mrrg::set_default_router_mode(parsed.router);
+    rewire_mrrg::set_default_fanout_mode(parsed.fanout);
     parsed.enable_collectors();
     parsed
 }
@@ -451,12 +459,17 @@ fn parse_cli_from(args: impl IntoIterator<Item = String>, default_secs: f64) -> 
         chrome_trace: None,
         flight: None,
         router: rewire_mrrg::default_router_mode(),
+        fanout: rewire_mrrg::default_fanout_mode(),
     };
-    let parse_router = |v: &str| match v {
-        "dense" => rewire_mrrg::RouterMode::Dense,
-        "pruned" => rewire_mrrg::RouterMode::Pruned,
-        other => panic!("--router needs `dense` or `pruned`, got {other:?}"),
-    };
+    fn apply_router(parsed: &mut BenchArgs, v: &str) {
+        match v {
+            "dense" => parsed.router = rewire_mrrg::RouterMode::Dense,
+            "pruned" => parsed.router = rewire_mrrg::RouterMode::Pruned,
+            "tree" => parsed.fanout = rewire_mrrg::FanoutMode::Tree,
+            "per-edge" => parsed.fanout = rewire_mrrg::FanoutMode::PerEdge,
+            other => panic!("--router needs dense|pruned|tree|per-edge, got {other:?}"),
+        }
+    }
     let parse_kernels = |v: &str| {
         v.split(',')
             .map(str::trim)
@@ -496,14 +509,15 @@ fn parse_cli_from(args: impl IntoIterator<Item = String>, default_secs: f64) -> 
         } else if let Some(v) = arg.strip_prefix("--kernels=") {
             parsed.kernels = Some(parse_kernels(v));
         } else if arg == "--router" {
-            parsed.router = parse_router(&args.next().expect("--router needs dense or pruned"));
+            let v = args.next().expect("--router needs a mode");
+            apply_router(&mut parsed, &v);
         } else if let Some(v) = arg.strip_prefix("--router=") {
-            parsed.router = parse_router(v);
+            apply_router(&mut parsed, v);
         } else if let Ok(v) = arg.parse::<f64>() {
             parsed.seconds_per_ii = v;
         } else {
             panic!(
-                "unrecognised argument {arg:?} (expected [seconds_per_ii] [--jobs N] [--trace FILE] [--metrics FILE] [--chrome-trace FILE] [--flight FILE] [--kernels a,b] [--router dense|pruned])"
+                "unrecognised argument {arg:?} (expected [seconds_per_ii] [--jobs N] [--trace FILE] [--metrics FILE] [--chrome-trace FILE] [--flight FILE] [--kernels a,b] [--router dense|pruned|tree|per-edge])"
             );
         }
     }
@@ -670,6 +684,25 @@ mod tests {
         assert_eq!(
             parse_cli_from([arg("--router=pruned")], 2.0).router,
             RouterMode::Pruned
+        );
+    }
+
+    #[test]
+    fn cli_parsing_accepts_fanout_mode_and_composes() {
+        use rewire_mrrg::{FanoutMode, RouterMode};
+        let arg = |s: &str| s.to_string();
+        assert_eq!(parse_cli_from([], 2.0).fanout, FanoutMode::Tree);
+        assert_eq!(
+            parse_cli_from([arg("--router"), arg("per-edge")], 2.0).fanout,
+            FanoutMode::PerEdge
+        );
+        // Repeatable and orthogonal: sweep + fan-out in one invocation.
+        let both = parse_cli_from([arg("--router=dense"), arg("--router=per-edge")], 2.0);
+        assert_eq!(both.router, RouterMode::Dense);
+        assert_eq!(both.fanout, FanoutMode::PerEdge);
+        assert_eq!(
+            parse_cli_from([arg("--router=tree")], 2.0).fanout,
+            FanoutMode::Tree
         );
     }
 

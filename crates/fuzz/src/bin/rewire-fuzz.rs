@@ -2,7 +2,12 @@
 //!
 //! Usage:
 //! `rewire-fuzz [--seeds A..B] [--budget-ms N] [--exact-budget-ms N]
-//!              [--jobs N] [--corpus DIR] [--metrics FILE] [--replay DIR]`
+//!              [--jobs N] [--corpus DIR] [--metrics FILE] [--replay DIR]
+//!              [--router tree|per-edge]`
+//!
+//! `--router tree|per-edge` (default tree) picks the fan-out routing mode
+//! for the whole run, so CI can fuzz both arms of the Steiner-tree
+//! differential.
 //!
 //! `--exact-budget-ms N` (default 0 = off) additionally runs the exact
 //! SAT backend on every scenario with an N-millisecond per-II wall-clock
@@ -31,6 +36,7 @@ struct Args {
     corpus: PathBuf,
     metrics: Option<String>,
     replay: Option<PathBuf>,
+    fanout: rewire_mrrg::FanoutMode,
 }
 
 fn parse_seed_range(v: &str) -> std::ops::Range<u64> {
@@ -52,7 +58,15 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Args {
         corpus: PathBuf::from("fuzz/corpus"),
         metrics: None,
         replay: None,
+        fanout: rewire_mrrg::default_fanout_mode(),
     };
+    fn parse_fanout(v: &str) -> rewire_mrrg::FanoutMode {
+        match v {
+            "tree" => rewire_mrrg::FanoutMode::Tree,
+            "per-edge" => rewire_mrrg::FanoutMode::PerEdge,
+            other => panic!("--router needs tree or per-edge, got `{other}`"),
+        }
+    }
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         if arg == "--seeds" {
@@ -94,6 +108,10 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Args {
             ));
         } else if let Some(v) = arg.strip_prefix("--replay=") {
             parsed.replay = Some(PathBuf::from(v));
+        } else if arg == "--router" {
+            parsed.fanout = parse_fanout(&args.next().expect("--router needs tree or per-edge"));
+        } else if let Some(v) = arg.strip_prefix("--router=") {
+            parsed.fanout = parse_fanout(v);
         } else {
             panic!("unrecognised argument `{arg}`");
         }
@@ -151,6 +169,7 @@ fn run_replay(dir: &Path, cfg: &FuzzConfig) -> ExitCode {
 
 fn main() -> ExitCode {
     let args = parse_args(std::env::args().skip(1));
+    rewire_mrrg::set_default_fanout_mode(args.fanout);
     let cfg = FuzzConfig {
         budget_ms: args.budget_ms,
         exact_budget_ms: args.exact_budget_ms,

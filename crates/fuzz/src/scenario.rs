@@ -45,11 +45,15 @@ impl Scenario {
     /// population covers sizes 4–14 nodes (small enough for the
     /// exhaustive oracle to participate on a meaningful fraction),
     /// recurrence counts 0–3, depths 1–3, carry distances up to 3,
-    /// memory fractions 0–0.35 and occasional fan-out hubs. Fabrics span
-    /// 2×2 up to 5×5 with 1–4 registers, occasional torus/diagonal links
-    /// and occasional memory-free grids (those make memory kernels
-    /// *infeasible* — MII undefined — which is a scenario class of its
-    /// own: every mapper must give up cleanly and agree).
+    /// memory fractions 0–0.35 and a *promoted* fan-out-skew knob: a base
+    /// skew of 1–3 (salt 16) escalated 2.5× on a quarter of the seeds
+    /// (salt 17, its own stream so the older draws stay put), so the
+    /// population reliably contains the fan-out-hub kernels the
+    /// Steiner-tree router exists for. Fabrics span 2×2 up to 5×5 with
+    /// 1–4 registers, occasional torus/diagonal links and occasional
+    /// memory-free grids (those make memory kernels *infeasible* — MII
+    /// undefined — which is a scenario class of its own: every mapper
+    /// must give up cleanly and agree).
     pub fn generate(seed: u64) -> Self {
         // Independent draw streams.
         let shape = mix(seed, 1);
@@ -64,7 +68,11 @@ impl Scenario {
             recurrences: pick(13, 4) as usize,                   // 0..=3
             max_distance: 1 + pick(14, 3) as u32,                // 1..=3
             recurrence_depth: 1 + pick(15, 3) as usize,          // 1..=3
-            fanout_skew: [1.0, 1.0, 2.0, 3.0][pick(16, 4) as usize],
+            // Promoted knob: base skew 1..=3, with a heavy-fan-out tail on
+            // ~25% of seeds (2.5x escalation, up to 7.5). The escalation
+            // draw uses a fresh salt so seeds keep their other parameters.
+            fanout_skew: [1.0, 1.0, 2.0, 3.0][pick(16, 4) as usize]
+                * [1.0, 1.0, 1.0, 2.5][pick(17, 4) as usize],
         };
         let arch_params = RandomCgraParams {
             rows: (2, 5),
@@ -175,6 +183,7 @@ mod tests {
         let mut exhaustive_eligible = 0;
         let mut infeasible = 0;
         let mut deep_distance = 0;
+        let mut fanout_hub = 0;
         for seed in 0..128 {
             let s = Scenario::generate(seed);
             if s.dfg.num_nodes() <= 12 {
@@ -186,6 +195,13 @@ mod tests {
             if s.dfg.edges().any(|e| e.distance() > 1) {
                 deep_distance += 1;
             }
+            let max_out = (0..s.dfg.num_nodes() as u32)
+                .map(|n| s.dfg.out_edges(rewire_dfg::NodeId::new(n)).len())
+                .max()
+                .unwrap_or(0);
+            if max_out >= 3 {
+                fanout_hub += 1;
+            }
         }
         assert!(
             exhaustive_eligible > 20,
@@ -193,6 +209,9 @@ mod tests {
         );
         assert!(infeasible > 0, "no infeasible scenario in 128 seeds");
         assert!(deep_distance > 20, "{deep_distance} deep-carry scenarios");
+        // The promoted fan-out-skew knob must keep hub kernels (a node
+        // with >= 3 sinks) a substantial scenario class.
+        assert!(fanout_hub > 15, "{fanout_hub} fan-out-hub scenarios");
     }
 
     #[test]

@@ -3,10 +3,10 @@
 //!
 //! The shrinker is mapper-agnostic — it only needs a predicate "does this
 //! candidate still fail?". Reductions are tried in a fixed, deterministic
-//! order (drop node, drop edge, reduce carry distance, shrink fabric) and
-//! the first accepted candidate restarts the pass, so the same failing
-//! scenario always shrinks along the same trace — a property the corpus
-//! replay test pins.
+//! order (drop node, drop edge, prune fan-out branches, reduce carry
+//! distance, shrink fabric) and the first accepted candidate restarts the
+//! pass, so the same failing scenario always shrinks along the same trace
+//! — a property the corpus replay test pins.
 
 use rewire_arch::random::CgraSpec;
 use rewire_dfg::{Dfg, EdgeId};
@@ -90,6 +90,41 @@ pub fn shrink(
                     cur_dfg = cand;
                     progressed = true;
                     continue 'edges;
+                }
+            }
+            break;
+        }
+
+        // 2b. Prune fan-out branches in bulk: a hub with k >= 3 sinks is
+        //     cut to its first two in one candidate. Route-tree failures
+        //     are often non-monotone in the branch count (per-edge routing
+        //     fails at k but also at the 2-sink core once the fabric has
+        //     shrunk), so the bulk jump reaches minima the single-edge
+        //     family plateaus before — and spends one evaluation where
+        //     single drops would spend k.
+        'branches: loop {
+            for v in cur_dfg.node_ids() {
+                let branches: Vec<EdgeId> = cur_dfg.out_edges(v).map(|e| e.id()).collect();
+                if branches.len() < 3 {
+                    continue;
+                }
+                let mut pruned: Vec<EdgeId> = branches[2..].to_vec();
+                // Drop highest ids first so the survivors' ids stay valid
+                // across the successive rebuilds.
+                pruned.sort_by_key(|e| std::cmp::Reverse(e.index()));
+                let mut cand = cur_dfg.clone();
+                for &id in &pruned {
+                    cand = cand.without_edge(id);
+                }
+                if try_candidate(&cand, &cur_spec, &mut evaluations) {
+                    steps.push(format!(
+                        "prune {} fan-out branches of {}",
+                        pruned.len(),
+                        cur_dfg.node(v).name()
+                    ));
+                    cur_dfg = cand;
+                    progressed = true;
+                    continue 'branches;
                 }
             }
             break;
@@ -254,6 +289,42 @@ mod tests {
         assert_eq!(a.dfg.to_text(), b.dfg.to_text());
         assert_eq!(a.spec, b.spec);
         assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn per_branch_pruning_jumps_over_greedy_plateaus() {
+        use rewire_dfg::NodeId;
+        // A 6-sink hub under a non-monotone predicate: the failure
+        // reproduces at fan-out 6 and again at fan-out <= 2, but not in
+        // between — exactly the shape of "per-edge routing fails on the
+        // full tree and on its 2-branch core". Single-edge drops are all
+        // rejected (they land on fan-out 5); only the bulk branch prune
+        // reaches the core.
+        let mut dfg = Dfg::new("hub");
+        let p = dfg.add_node("p", OpKind::Add);
+        for i in 0..6 {
+            let s = dfg.add_node(format!("s{i}"), OpKind::Add);
+            dfg.add_edge(p, s, 0).unwrap();
+        }
+        let spec = Scenario::generate(3).spec;
+        let max_out = |d: &Dfg| {
+            (0..d.num_nodes() as u32)
+                .map(|n| d.out_edges(NodeId::new(n)).len())
+                .max()
+                .unwrap_or(0)
+        };
+        let mut pred = |d: &Dfg, _: &CgraSpec| {
+            let k = max_out(d);
+            k == 6 || (1..=2).contains(&k)
+        };
+        assert!(pred(&dfg, &spec), "hub must start failing");
+        let r = shrink(&dfg, &spec, &mut pred, 10_000);
+        assert!(
+            r.steps.iter().any(|s| s.starts_with("prune ")),
+            "bulk branch prune must fire, got {:?}",
+            r.steps
+        );
+        assert!(max_out(&r.dfg) <= 2, "shrunk to the fan-out core");
     }
 
     #[test]

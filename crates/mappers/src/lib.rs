@@ -33,6 +33,7 @@ mod annealing;
 pub mod engine;
 mod exact;
 mod exhaustive;
+mod fanout;
 mod limits;
 mod mapping;
 mod pathfinder;
@@ -45,6 +46,7 @@ pub use annealing::{SaAttempt, SaConfig, SaMapper};
 pub use engine::{AttemptVerdict, EventSink, IiAttempt, IiSearch, MapEvent, Silent};
 pub use exact::{ExactAttempt, ExactSatMapper};
 pub use exhaustive::{ExhaustiveAttempt, ExhaustiveMapper};
+pub use fanout::{consolidate_fanout, ConsolidationStats};
 pub use limits::MapLimits;
 pub use mapping::{Mapping, MappingIssue};
 pub use pathfinder::{PathFinderAttempt, PathFinderConfig, PathFinderMapper};

@@ -25,7 +25,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rewire_arch::{Cgra, PeId};
 use rewire_dfg::{Dfg, EdgeId, NodeId};
-use rewire_mrrg::{CostModel, Mrrg, NegotiatedCost, Resource, Router};
+use rewire_mrrg::{
+    default_fanout_mode, CostModel, FanoutMode, Mrrg, NegotiatedCost, Resource, Route, Router,
+};
 use rewire_obs::{self as obs, FlightEvent};
 use std::time::Instant;
 
@@ -168,6 +170,7 @@ impl PathFinderMapper {
         let _negotiate_span = obs::span("negotiate");
         let mut iterations = 0u64;
         let trace = std::env::var_os("PF_TRACE").is_some();
+        let tree_mode = default_fanout_mode() == FanoutMode::Tree;
         // Stall detection drives the escalation to *partial remapping*
         // (the paper's term): when single-node moves stop reducing the
         // ill-node count, the victim's whole placed neighbourhood is
@@ -176,6 +179,18 @@ impl PathFinderMapper {
         let mut stall = 0u32;
         while iterations < self.config.max_iterations_per_ii && Instant::now() < deadline {
             if mapping.is_complete(dfg) {
+                debug_assert!(mapping.is_valid(dfg, cgra));
+                return (Some(mapping), iterations, 0);
+            }
+            // Subtree-delta re-routing (tree mode only): before ripping up
+            // whole placements, try the cheaper repair of re-growing just
+            // the branches of fan-out trees that cross congested cells.
+            // Consumes no randomness, commits only on a strict overuse
+            // decrease, and can finish the II on its own.
+            if tree_mode
+                && self.subtree_delta_reroute(dfg, &router, &mut mapping, &cost) > 0
+                && mapping.is_complete(dfg)
+            {
                 debug_assert!(mapping.is_valid(dfg, cgra));
                 return (Some(mapping), iterations, 0);
             }
@@ -331,6 +346,117 @@ impl PathFinderMapper {
             }
         }
         (None, iterations, mapping.total_overuse() as u64)
+    }
+
+    /// Subtree-delta re-routing: for every fan-out signal with a branch
+    /// crossing an overused cell, rip up *only the crossing branches* and
+    /// re-grow them with [`Router::route_fanout`] against the surviving
+    /// siblings (whose cells the tree cost discounts, so repaired branches
+    /// re-merge onto the retained trunk).
+    ///
+    /// The whole pass is **transactional**: per-signal re-routes are
+    /// committed tentatively when they strictly reduce total overuse, and
+    /// the accumulated commits are kept only if the pass finishes with a
+    /// *complete* mapping — i.e. it resolved the II attempt outright.
+    /// Otherwise every branch is restored verbatim. Because the pass also
+    /// consumes no randomness, a rolled-back pass leaves the negotiation
+    /// trajectory byte-identical to per-edge mode: tree mode can finish an
+    /// II earlier than per-edge PF*, but can never finish later.
+    ///
+    /// Deterministic (node-id order) and a no-op when the mapping has no
+    /// overuse. Returns the number of branches re-routed and kept, also
+    /// published on the `router.subtree_reroutes` counter.
+    fn subtree_delta_reroute(
+        &self,
+        dfg: &Dfg,
+        router: &Router<'_>,
+        mapping: &mut Mapping,
+        cost: &NegotiatedCost,
+    ) -> u64 {
+        if mapping.total_overuse() == 0 {
+            return 0;
+        }
+        // Undo log of every tentatively committed signal: (edge, original
+        // route), restored in reverse order on rollback.
+        let mut undo: Vec<(EdgeId, Route)> = Vec::new();
+        let mut kept = 0u64;
+        for u in dfg.topo_order() {
+            let routed: Vec<EdgeId> = dfg
+                .out_edges(u)
+                .filter(|e| mapping.route(e.id()).is_some())
+                .map(|e| e.id())
+                .collect();
+            if routed.len() < 2 {
+                continue;
+            }
+            let crossing: Vec<EdgeId> = routed
+                .iter()
+                .copied()
+                .filter(|&e| {
+                    mapping
+                        .route(e)
+                        .expect("filtered to routed")
+                        .resources()
+                        .iter()
+                        .any(|&c| mapping.occupancy().is_overused(c))
+                })
+                .collect();
+            if crossing.is_empty() || crossing.len() == routed.len() {
+                // Nothing congested, or no clean sibling to re-merge onto:
+                // a full re-route is the whole-edge rip-up the regular
+                // negotiation already does better (with history).
+                continue;
+            }
+            let before = mapping.total_overuse();
+            let old: Vec<(EdgeId, Route)> = crossing
+                .iter()
+                .map(|&e| (e, mapping.route(e).expect("filtered to routed").clone()))
+                .collect();
+            for &(e, _) in &old {
+                mapping.clear_route(e);
+            }
+            let reqs: Vec<rewire_mrrg::RouteRequest> =
+                old.iter().map(|(_, r)| *r.request()).collect();
+            let mut occ = mapping.occupancy().clone();
+            match router.route_fanout(&mut occ, &reqs, cost) {
+                Ok(new_routes) => {
+                    for (&(e, _), r) in old.iter().zip(new_routes) {
+                        mapping.set_route(e, r);
+                    }
+                    if mapping.total_overuse() < before {
+                        kept += old.len() as u64;
+                        undo.extend(old);
+                    } else {
+                        for &(e, _) in &old {
+                            mapping.clear_route(e);
+                        }
+                        for (e, r) in old {
+                            mapping.set_route(e, r);
+                        }
+                    }
+                }
+                Err(_) => {
+                    for (e, r) in old {
+                        mapping.set_route(e, r);
+                    }
+                }
+            }
+            if mapping.total_overuse() == 0 {
+                break; // nothing congested is left to repair
+            }
+        }
+        if kept > 0 && !mapping.is_complete(dfg) {
+            // The deltas helped but did not finish the II: roll everything
+            // back so the regular negotiation proceeds exactly as it would
+            // have under per-edge routing.
+            for (e, r) in undo.into_iter().rev() {
+                mapping.clear_route(e);
+                mapping.set_route(e, r);
+            }
+            return 0;
+        }
+        obs::counter("router.subtree_reroutes").add(kept);
+        kept
     }
 
     /// Builds the [`IiAttempt`] adapter driving this mapper through the

@@ -1,4 +1,10 @@
 //! Modulo-scheduling helpers shared by all mappers.
+//!
+//! Schedule times are what the fan-out consolidation pass
+//! ([`crate::fanout`]) treats as immutable: a multi-sink signal's route
+//! tree must deliver the value to every sink at exactly the time the
+//! schedule assigned it, so consolidating routes can never perturb the
+//! functions here — only the paths between the scheduled endpoints.
 
 use crate::Mapping;
 use rewire_arch::{Cgra, OpKind, PeId};

@@ -67,6 +67,7 @@ mod graph;
 mod occupancy;
 mod resource;
 mod route;
+mod route_tree;
 mod router;
 
 pub use distance::{DistanceBound, DistanceOracle, DistanceTable, TieredDistance};
@@ -74,7 +75,9 @@ pub use graph::Mrrg;
 pub use occupancy::Occupancy;
 pub use resource::Resource;
 pub use route::{Route, RouteError, RouteRequest};
+pub use route_tree::{RouteTree, RouteTreeError};
 pub use router::{
-    default_router_mode, install_thread_distance_table, set_default_router_mode,
-    thread_distance_table, CostModel, NegotiatedCost, Router, RouterMode, RouterScratch, UnitCost,
+    default_fanout_mode, default_router_mode, install_thread_distance_table,
+    set_default_fanout_mode, set_default_router_mode, thread_distance_table, CostModel, FanoutMode,
+    NegotiatedCost, Router, RouterMode, RouterScratch, TreeCost, UnitCost,
 };

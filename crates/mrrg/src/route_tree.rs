@@ -1,0 +1,375 @@
+//! Route trees: the consolidated fan-out view of one signal's routes.
+//!
+//! A producer with fan-out `k` drives `k` [`Route`]s that all leave the
+//! same PE at the same cycle. [`Occupancy`](crate::Occupancy) already lets
+//! those routes share cells — same signal at equal phase is fan-out, not
+//! overuse — so a set of per-edge routes implicitly forms a *route tree*:
+//! a shared trunk leaving the producer plus per-sink branches that peel
+//! off where the destinations diverge. This module makes that tree
+//! explicit: [`RouteTree::from_branches`] validates the sharing
+//! invariants and the accessors expose the structural quantities
+//! (footprint, shared cells, per-sink arrivals) the differential suite
+//! and the property tests pin.
+//!
+//! # Invariants
+//!
+//! A valid tree satisfies, and `from_branches` enforces:
+//!
+//! 1. **Common root** — every branch departs the same `(signal, src_pe,
+//!    depart_cycle)`.
+//! 2. **Phase-consistent sharing** — a cell used by two branches is used
+//!    at the *same* phase (age since departure) by both. Equal-phase
+//!    sharing is exactly what `Occupancy` admits without overuse;
+//!    unequal phases would put two different iterations' values on one
+//!    physical resource in the same cycle.
+//! 3. **Acyclicity** — no branch visits a cell twice. Together with (2)
+//!    this makes the union of branches a DAG: the phase function is
+//!    well-defined on cells and strictly increases along every edge of
+//!    the union, so no cycle can close.
+
+use crate::{Mrrg, Resource, Route};
+use rewire_arch::PeId;
+use rewire_dfg::NodeId;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// One signal's routes, validated as a shared route tree.
+///
+/// Branches keep the order they were supplied in (one per sink), so a
+/// caller can zip them back to its edge list.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RouteTree {
+    branches: Vec<Route>,
+}
+
+/// Why a set of routes is not a valid route tree.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum RouteTreeError {
+    /// No branches were supplied.
+    Empty,
+    /// A branch carries a different signal than the first.
+    MixedSignals {
+        /// The tree's signal (from the first branch).
+        expected: NodeId,
+        /// The offending branch's signal.
+        found: NodeId,
+    },
+    /// A branch departs from a different PE or cycle than the first.
+    MixedRoots {
+        /// Index of the offending branch.
+        branch: usize,
+    },
+    /// Two branches use one cell at different phases (value ages), which
+    /// `Occupancy` counts as overuse even within one signal.
+    PhaseConflict {
+        /// The doubly-aged cell.
+        cell: Resource,
+        /// The two conflicting phases.
+        phases: (u32, u32),
+    },
+    /// One branch visits a cell twice (the router never emits this; it
+    /// guards hand-assembled routes).
+    CyclicBranch {
+        /// Index of the offending branch.
+        branch: usize,
+        /// The revisited cell.
+        cell: Resource,
+    },
+}
+
+impl fmt::Display for RouteTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteTreeError::Empty => f.write_str("route tree needs at least one branch"),
+            RouteTreeError::MixedSignals { expected, found } => {
+                write!(f, "branch carries {found}, tree carries {expected}")
+            }
+            RouteTreeError::MixedRoots { branch } => {
+                write!(f, "branch {branch} departs from a different root")
+            }
+            RouteTreeError::PhaseConflict { cell, phases } => write!(
+                f,
+                "cell {cell} used at phases {} and {}",
+                phases.0, phases.1
+            ),
+            RouteTreeError::CyclicBranch { branch, cell } => {
+                write!(f, "branch {branch} revisits {cell}")
+            }
+        }
+    }
+}
+
+impl Error for RouteTreeError {}
+
+impl RouteTree {
+    /// Validates `branches` as one signal's route tree (see the module
+    /// docs for the invariants).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`RouteTreeError`] invariant.
+    pub fn from_branches(branches: Vec<Route>) -> Result<Self, RouteTreeError> {
+        let first = branches.first().ok_or(RouteTreeError::Empty)?;
+        let signal = first.signal();
+        let root = (first.request().src_pe, first.request().depart_cycle);
+        let mut phase_of: HashMap<Resource, u32> = HashMap::new();
+        for (b, route) in branches.iter().enumerate() {
+            if route.signal() != signal {
+                return Err(RouteTreeError::MixedSignals {
+                    expected: signal,
+                    found: route.signal(),
+                });
+            }
+            if (route.request().src_pe, route.request().depart_cycle) != root {
+                return Err(RouteTreeError::MixedRoots { branch: b });
+            }
+            let mut seen_this_branch: HashMap<Resource, ()> = HashMap::new();
+            for (k, &cell) in route.resources().iter().enumerate() {
+                if seen_this_branch.insert(cell, ()).is_some() {
+                    return Err(RouteTreeError::CyclicBranch { branch: b, cell });
+                }
+                let phase = k as u32;
+                match phase_of.get(&cell) {
+                    Some(&p) if p != phase => {
+                        return Err(RouteTreeError::PhaseConflict {
+                            cell,
+                            phases: (p, phase),
+                        })
+                    }
+                    _ => {
+                        phase_of.insert(cell, phase);
+                    }
+                }
+            }
+        }
+        Ok(Self { branches })
+    }
+
+    /// The signal every branch carries.
+    pub fn signal(&self) -> NodeId {
+        self.branches[0].signal()
+    }
+
+    /// The producer PE all branches leave from.
+    pub fn src_pe(&self) -> PeId {
+        self.branches[0].request().src_pe
+    }
+
+    /// The absolute cycle the value is on the source wire.
+    pub fn depart_cycle(&self) -> u32 {
+        self.branches[0].request().depart_cycle
+    }
+
+    /// The branches, in the order supplied to
+    /// [`from_branches`](RouteTree::from_branches).
+    pub fn branches(&self) -> &[Route] {
+        &self.branches
+    }
+
+    /// Number of sinks.
+    pub fn num_branches(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// `(dst_pe, arrive_cycle)` per branch, in branch order.
+    pub fn sinks(&self) -> impl Iterator<Item = (PeId, u32)> + '_ {
+        self.branches
+            .iter()
+            .map(|r| (r.request().dst_pe, r.request().arrive_cycle))
+    }
+
+    /// Number of *distinct* MRRG cells the tree occupies — the quantity
+    /// trunk sharing reduces versus independent per-edge routing.
+    pub fn footprint(&self) -> usize {
+        let mut cells: Vec<usize> = Vec::new();
+        self.for_each_cell_index(|idx| cells.push(idx));
+        cells.sort_unstable();
+        cells.dedup();
+        cells.len()
+    }
+
+    /// Sum of the branch lengths (cells counted once per use). The
+    /// difference `total_cells() − footprint()` is the trunk sharing the
+    /// tree achieves.
+    pub fn total_cells(&self) -> usize {
+        self.branches.iter().map(|r| r.resources().len()).sum()
+    }
+
+    /// Number of distinct cells used by at least two branches.
+    pub fn shared_cells(&self) -> usize {
+        let mut cells: Vec<usize> = Vec::new();
+        self.for_each_cell_index(|idx| cells.push(idx));
+        cells.sort_unstable();
+        let mut shared = 0;
+        let mut i = 0;
+        while i < cells.len() {
+            let mut j = i + 1;
+            while j < cells.len() && cells[j] == cells[i] {
+                j += 1;
+            }
+            if j - i >= 2 {
+                shared += 1;
+            }
+            i = j;
+        }
+        shared
+    }
+
+    /// A stable fingerprint of the tree's resource usage: the sorted
+    /// multiset of `(cell index, phase)` pairs, FNV-1a hashed. Two trees
+    /// with identical cell usage fingerprint identically regardless of
+    /// branch order — the per-signal key the differential suite records.
+    pub fn fingerprint(&self, mrrg: &Mrrg) -> u64 {
+        let mut pairs: Vec<(usize, u32)> = Vec::new();
+        for route in &self.branches {
+            for (k, &cell) in route.resources().iter().enumerate() {
+                pairs.push((mrrg.index_of(cell), k as u32));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut hash: u64 = 0xcbf29ce484222325;
+        for (idx, phase) in pairs {
+            for byte in (idx as u64)
+                .to_le_bytes()
+                .iter()
+                .chain(phase.to_le_bytes().iter())
+            {
+                hash ^= u64::from(*byte);
+                hash = hash.wrapping_mul(0x100000001b3);
+            }
+        }
+        hash
+    }
+
+    /// Dense cell indices of every use, via `mrrg`-free local indexing:
+    /// branches only need relative identity, so the tree hashes cells by
+    /// position in a first-seen table rather than requiring the shape.
+    fn for_each_cell_index(&self, mut f: impl FnMut(usize)) {
+        let mut interned: HashMap<Resource, usize> = HashMap::new();
+        for route in &self.branches {
+            for &cell in route.resources() {
+                let next = interned.len();
+                let idx = *interned.entry(cell).or_insert(next);
+                f(idx);
+            }
+        }
+    }
+}
+
+impl fmt::Display for RouteTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tree {} from {}@{}: {} sinks, {} cells ({} shared)",
+            self.signal(),
+            self.src_pe(),
+            self.depart_cycle(),
+            self.num_branches(),
+            self.footprint(),
+            self.shared_cells()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RouteRequest;
+    use rewire_arch::LinkId;
+
+    fn req(signal: u32, src: u32, depart: u32, dst: u32, arrive: u32) -> RouteRequest {
+        RouteRequest {
+            signal: NodeId::new(signal),
+            src_pe: PeId::new(src),
+            depart_cycle: depart,
+            dst_pe: PeId::new(dst),
+            arrive_cycle: arrive,
+        }
+    }
+
+    fn link(id: u32, slot: u32) -> Resource {
+        Resource::Link {
+            link: LinkId::new(id),
+            slot,
+        }
+    }
+
+    #[test]
+    fn valid_tree_shares_a_trunk() {
+        // Two branches sharing the first hop at phase 0.
+        let trunk = link(0, 1);
+        let a = Route::from_parts(req(3, 0, 1, 2, 3), vec![trunk, link(1, 0)], 2.0);
+        let b = Route::from_parts(req(3, 0, 1, 5, 3), vec![trunk, link(2, 0)], 2.0);
+        let tree = RouteTree::from_branches(vec![a, b]).unwrap();
+        assert_eq!(tree.signal(), NodeId::new(3));
+        assert_eq!(tree.num_branches(), 2);
+        assert_eq!(tree.total_cells(), 4);
+        assert_eq!(tree.footprint(), 3, "trunk counted once");
+        assert_eq!(tree.shared_cells(), 1);
+        assert_eq!(tree.sinks().count(), 2);
+        assert!(format!("{tree}").contains("2 sinks"));
+    }
+
+    #[test]
+    fn empty_and_mixed_inputs_are_rejected() {
+        assert_eq!(
+            RouteTree::from_branches(vec![]).unwrap_err(),
+            RouteTreeError::Empty
+        );
+        let a = Route::from_parts(req(3, 0, 1, 2, 2), vec![link(0, 1)], 1.0);
+        let other_signal = Route::from_parts(req(4, 0, 1, 2, 2), vec![link(1, 1)], 1.0);
+        assert!(matches!(
+            RouteTree::from_branches(vec![a.clone(), other_signal]).unwrap_err(),
+            RouteTreeError::MixedSignals { .. }
+        ));
+        let other_root = Route::from_parts(req(3, 1, 1, 2, 2), vec![link(1, 1)], 1.0);
+        assert!(matches!(
+            RouteTree::from_branches(vec![a.clone(), other_root]).unwrap_err(),
+            RouteTreeError::MixedRoots { branch: 1 }
+        ));
+        let later_depart = Route::from_parts(req(3, 0, 2, 2, 3), vec![link(1, 1)], 1.0);
+        assert!(matches!(
+            RouteTree::from_branches(vec![a, later_depart]).unwrap_err(),
+            RouteTreeError::MixedRoots { branch: 1 }
+        ));
+    }
+
+    #[test]
+    fn phase_conflicts_and_cycles_are_rejected() {
+        let cell = link(0, 1);
+        // Same cell at phase 0 in one branch, phase 1 in the other.
+        let a = Route::from_parts(req(3, 0, 1, 2, 2), vec![cell], 1.0);
+        let b = Route::from_parts(req(3, 0, 1, 5, 3), vec![link(1, 0), cell], 2.0);
+        let e = RouteTree::from_branches(vec![a, b]).unwrap_err();
+        assert!(matches!(e, RouteTreeError::PhaseConflict { .. }));
+        assert!(e.to_string().contains("phases"));
+
+        let looped = Route::from_parts(req(3, 0, 1, 2, 3), vec![cell, cell], 2.0);
+        assert!(matches!(
+            RouteTree::from_branches(vec![looped]).unwrap_err(),
+            RouteTreeError::CyclicBranch { branch: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn fingerprint_is_branch_order_independent() {
+        let cgra = rewire_arch::presets::paper_4x4_r4();
+        let mrrg = Mrrg::new(&cgra, 2);
+        let l0 = cgra.links().next().unwrap().id();
+        let l1 = cgra.links().nth(1).unwrap().id();
+        let trunk = Resource::Link { link: l0, slot: 1 };
+        let a = Route::from_parts(
+            req(3, 0, 1, 2, 3),
+            vec![trunk, Resource::Link { link: l1, slot: 0 }],
+            2.0,
+        );
+        let b = Route::from_parts(req(3, 0, 1, 5, 2), vec![trunk], 1.0);
+        let ab = RouteTree::from_branches(vec![a.clone(), b.clone()]).unwrap();
+        let ba = RouteTree::from_branches(vec![b, a]).unwrap();
+        assert_eq!(ab.fingerprint(&mrrg), ba.fingerprint(&mrrg));
+        assert_ne!(ab.fingerprint(&mrrg), 0);
+    }
+}

@@ -114,6 +114,58 @@ impl CostModel for NegotiatedCost {
     }
 }
 
+/// Multiplicative reuse discount applied by [`TreeCost`] to cells the
+/// routed signal already owns at the queried phase.
+///
+/// Under [`UnitCost`] and [`NegotiatedCost`] a cell carrying the same
+/// signal at the same phase is priced like a free cell, so per-edge
+/// fan-out routes only share trunks when the shared path happens to be
+/// the unique minimum. The discount makes reuse *strictly* cheaper, so
+/// the DP actively converges sibling branches onto the existing trunk —
+/// the Steiner-tree behaviour — while never enabling a cell the inner
+/// model forbids.
+const TREE_REUSE_DISCOUNT: f64 = 1.0 / 16.0;
+
+/// Cost wrapper that discounts cells already owned by the routed signal
+/// at the queried phase (by `TREE_REUSE_DISCOUNT`, 1/16).
+///
+/// Admissibility is inherited: a cell the inner model rejects stays
+/// rejected, and a discounted cost is still positive, so routes found
+/// under `TreeCost` satisfy exactly the same sharing rules as the inner
+/// model's — they just prefer the signal's own cells.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeCost<'c, C> {
+    inner: &'c C,
+}
+
+impl<'c, C: CostModel> TreeCost<'c, C> {
+    /// Wraps `inner` with the trunk-reuse discount.
+    pub fn new(inner: &'c C) -> Self {
+        Self { inner }
+    }
+}
+
+impl<C: CostModel> CostModel for TreeCost<'_, C> {
+    fn cell_cost(
+        &self,
+        occ: &Occupancy,
+        cell: Resource,
+        signal: NodeId,
+        phase: u32,
+    ) -> Option<f64> {
+        let cost = self.inner.cell_cost(occ, cell, signal, phase)?;
+        let owned = occ
+            .owners(cell)
+            .iter()
+            .any(|(key, _)| *key == (signal, phase));
+        Some(if owned {
+            cost * TREE_REUSE_DISCOUNT
+        } else {
+            cost
+        })
+    }
+}
+
 /// Sweep strategy for the router's per-layer dynamic program.
 ///
 /// Both modes produce byte-identical routes (pinned by the differential
@@ -163,6 +215,55 @@ pub fn set_default_router_mode(mode: RouterMode) -> RouterMode {
 /// The process-wide default [`RouterMode`] used by [`Router::new`].
 pub fn default_router_mode() -> RouterMode {
     mode_from_u8(DEFAULT_ROUTER_MODE.load(Ordering::SeqCst))
+}
+
+/// How multi-sink signals are routed.
+///
+/// Orthogonal to [`RouterMode`] (which picks the DP sweep strategy):
+/// `FanoutMode` decides whether a producer's fan-out edges are routed as
+/// one shared route tree or as independent per-edge paths.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FanoutMode {
+    /// Route fan-out as shared route trees: branches are grown in
+    /// deterministic order with [`TreeCost`]'s reuse discount, so sibling
+    /// branches converge on a shared trunk
+    /// ([`Router::route_fanout`]). The default.
+    Tree,
+    /// The original independent per-edge routing. Kept as the
+    /// differential baseline (tests, bench, `--router per-edge`).
+    PerEdge,
+}
+
+/// Process-wide default fan-out mode picked up by the mappers. Global for
+/// the same reason as [`DEFAULT_ROUTER_MODE`]: portfolio workers route
+/// from freshly spawned threads, and a whole-process differential run
+/// must reach those too.
+static DEFAULT_FANOUT_MODE: AtomicU8 = AtomicU8::new(0); // 0 = Tree
+
+fn fanout_to_u8(mode: FanoutMode) -> u8 {
+    match mode {
+        FanoutMode::Tree => 0,
+        FanoutMode::PerEdge => 1,
+    }
+}
+
+fn fanout_from_u8(v: u8) -> FanoutMode {
+    if v == 0 {
+        FanoutMode::Tree
+    } else {
+        FanoutMode::PerEdge
+    }
+}
+
+/// Sets the process-wide default [`FanoutMode`] and returns the previous
+/// one, so differential harnesses can restore it.
+pub fn set_default_fanout_mode(mode: FanoutMode) -> FanoutMode {
+    fanout_from_u8(DEFAULT_FANOUT_MODE.swap(fanout_to_u8(mode), Ordering::SeqCst))
+}
+
+/// The process-wide default [`FanoutMode`].
+pub fn default_fanout_mode() -> FanoutMode {
+    fanout_from_u8(DEFAULT_FANOUT_MODE.load(Ordering::SeqCst))
 }
 
 /// Value location during routing: on the PE's wire fabric, or parked in a
@@ -625,6 +726,89 @@ impl<'a> Router<'a> {
             Err(_) => m.route_failed.incr(),
         }
         result
+    }
+
+    /// Routes one signal's whole fan-out as a shared route tree.
+    ///
+    /// All requests must share `(signal, src_pe, depart_cycle)` — they are
+    /// the adjacent edges of one producer. Branches are routed longest
+    /// first (ties broken by destination PE, then request order) under a
+    /// [`TreeCost`] wrapper around `cost`, and each branch is claimed into
+    /// `occ` before the next one routes, so later branches both *see* and
+    /// *prefer* the growing trunk. Every claim is released before
+    /// returning — `occ` is left exactly as found — and the routes come
+    /// back in request order, ready to be committed one by one.
+    ///
+    /// The number of cells a branch reused from its already-routed
+    /// siblings (or from the signal's pre-existing commitments in `occ`)
+    /// is published on the `router.tree_reuse` counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requests do not share one `(signal, src_pe,
+    /// depart_cycle)` root — a caller bug, not a routing failure.
+    ///
+    /// # Errors
+    ///
+    /// The first branch failure aborts the call with that branch's
+    /// [`RouteError`]; no claims are left behind.
+    pub fn route_fanout(
+        &self,
+        occ: &mut Occupancy,
+        reqs: &[RouteRequest],
+        cost: &impl CostModel,
+    ) -> Result<Vec<Route>, RouteError> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let root = (reqs[0].signal, reqs[0].src_pe, reqs[0].depart_cycle);
+        assert!(
+            reqs.iter()
+                .all(|r| (r.signal, r.src_pe, r.depart_cycle) == root),
+            "route_fanout requests must share one producer"
+        );
+        // Longest branch first: the longest path lays down the trunk the
+        // shorter siblings then peel off of. Ties break by destination PE
+        // and then request order, so the result is deterministic.
+        let mut order: Vec<usize> = (0..reqs.len()).collect();
+        order.sort_by_key(|&i| {
+            (
+                std::cmp::Reverse(reqs[i].arrive_cycle.saturating_sub(reqs[i].depart_cycle)),
+                reqs[i].dst_pe.index(),
+                i,
+            )
+        });
+        let tree_cost = TreeCost::new(cost);
+        let mut routed: Vec<(usize, Route)> = Vec::with_capacity(reqs.len());
+        let mut reused = 0u64;
+        let mut failure = None;
+        for &i in &order {
+            match self.route(occ, &reqs[i], &tree_cost) {
+                Ok(route) => {
+                    for (k, &cell) in route.resources().iter().enumerate() {
+                        let key = (root.0, k as u32);
+                        if occ.owners(cell).iter().any(|(owner, _)| *owner == key) {
+                            reused += 1;
+                        }
+                    }
+                    occ.claim_route(&route);
+                    routed.push((i, route));
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        for (_, route) in &routed {
+            occ.release_route(route);
+        }
+        obs::counter("router.tree_reuse").add(reused);
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        routed.sort_by_key(|&(i, _)| i);
+        Ok(routed.into_iter().map(|(_, r)| r).collect())
     }
 
     #[allow(clippy::too_many_arguments)] // internal plumbing for metric tallies
@@ -1446,6 +1630,140 @@ mod tests {
         assert_eq!(scratch.cached_oracles(), ORACLE_CACHE_CAP);
         // Re-requesting the MRU entry returns the very same Arc.
         assert!(Arc::ptr_eq(&scratch.distances_for(first), &rebuilt));
+    }
+
+    #[test]
+    fn default_fanout_toggle_round_trips() {
+        // Serialized within this one test: other tests in this binary
+        // never touch the global fan-out default.
+        assert_eq!(default_fanout_mode(), FanoutMode::Tree);
+        let prev = set_default_fanout_mode(FanoutMode::PerEdge);
+        assert_eq!(prev, FanoutMode::Tree);
+        assert_eq!(default_fanout_mode(), FanoutMode::PerEdge);
+        set_default_fanout_mode(prev);
+        assert_eq!(default_fanout_mode(), FanoutMode::Tree);
+    }
+
+    #[test]
+    fn tree_cost_discounts_owned_cells_only() {
+        let (cgra, mrrg) = setup(2);
+        let mut occ = Occupancy::new(&mrrg);
+        let l0 = cgra.links().next().unwrap().id();
+        let cell = Resource::Link { link: l0, slot: 1 };
+        let signal = NodeId::new(5);
+        occ.claim(cell, signal, 0);
+        let tc = TreeCost::new(&UnitCost);
+        // Owned at the queried phase: discounted.
+        assert_eq!(
+            tc.cell_cost(&occ, cell, signal, 0),
+            Some(TREE_REUSE_DISCOUNT)
+        );
+        // Same signal at a different phase: the inner model forbids it,
+        // and so must the wrapper.
+        assert_eq!(tc.cell_cost(&occ, cell, signal, 1), None);
+        // A free cell keeps the inner cost.
+        let other = Resource::Link {
+            link: cgra.links().nth(1).unwrap().id(),
+            slot: 1,
+        };
+        assert_eq!(tc.cell_cost(&occ, other, signal, 0), Some(1.0));
+        // A foreign signal cannot take the owned cell.
+        assert_eq!(tc.cell_cost(&occ, cell, NodeId::new(6), 0), None);
+    }
+
+    #[test]
+    fn route_fanout_shares_a_trunk_and_restores_occupancy() {
+        let (cgra, mrrg) = setup(4);
+        let mut occ = Occupancy::new(&mrrg);
+        let router = Router::new(&cgra, &mrrg);
+        let _scope = obs::scope("test/route_fanout_trunk");
+        // One producer at (0,0), two sinks far away in the same corner:
+        // their shortest paths overlap for several hops.
+        let src = pe(&cgra, 0, 0);
+        let reqs = [
+            req(9, src, 1, pe(&cgra, 2, 3), 6),
+            req(9, src, 1, pe(&cgra, 3, 2), 6),
+        ];
+        let routes = router.route_fanout(&mut occ, &reqs, &UnitCost).unwrap();
+        assert_eq!(routes.len(), 2);
+        // Routes come back in request order.
+        assert_eq!(routes[0].request(), &reqs[0]);
+        assert_eq!(routes[1].request(), &reqs[1]);
+        // The occupancy is exactly as found.
+        assert_eq!(occ.used_cells(), 0);
+        // The branches form a valid tree with a genuinely shared trunk.
+        let tree = crate::RouteTree::from_branches(routes).unwrap();
+        assert!(
+            tree.shared_cells() > 0,
+            "sibling branches converge on a trunk: {tree}"
+        );
+        assert!(tree.footprint() < tree.total_cells());
+        let snap = obs::metrics().snapshot();
+        let s = &snap.scopes["test/route_fanout_trunk"];
+        assert!(
+            s.counters["router.tree_reuse"] > 0,
+            "trunk reuse is published"
+        );
+    }
+
+    #[test]
+    fn route_fanout_footprint_never_exceeds_per_edge() {
+        let (cgra, mrrg) = setup(4);
+        let router = Router::new(&cgra, &mrrg);
+        let src = pe(&cgra, 1, 1);
+        let reqs = [
+            req(2, src, 1, pe(&cgra, 3, 3), 6),
+            req(2, src, 1, pe(&cgra, 3, 2), 5),
+            req(2, src, 1, pe(&cgra, 2, 3), 5),
+        ];
+        // Per-edge baseline: route each branch independently against the
+        // accumulating occupancy (the mappers' sequential commit order).
+        let mut per_edge = Occupancy::new(&mrrg);
+        let mut baseline = Vec::new();
+        for r in &reqs {
+            let route = router.route(&per_edge, r, &UnitCost).unwrap();
+            per_edge.claim_route(&route);
+            baseline.push(route);
+        }
+        let baseline_tree = crate::RouteTree::from_branches(baseline).unwrap();
+        let mut occ = Occupancy::new(&mrrg);
+        let routes = router.route_fanout(&mut occ, &reqs, &UnitCost).unwrap();
+        let tree = crate::RouteTree::from_branches(routes).unwrap();
+        assert!(
+            tree.footprint() <= baseline_tree.footprint(),
+            "tree {} vs per-edge {}",
+            tree.footprint(),
+            baseline_tree.footprint()
+        );
+    }
+
+    #[test]
+    fn route_fanout_rejects_mixed_producers_and_propagates_failures() {
+        let (cgra, mrrg) = setup(4);
+        let mut occ = Occupancy::new(&mrrg);
+        let router = Router::new(&cgra, &mrrg);
+        assert!(router
+            .route_fanout(&mut occ, &[], &UnitCost)
+            .unwrap()
+            .is_empty());
+        let bad = [
+            req(1, pe(&cgra, 0, 0), 1, pe(&cgra, 1, 1), 3),
+            req(1, pe(&cgra, 0, 1), 1, pe(&cgra, 1, 1), 3),
+        ];
+        assert!(std::panic::catch_unwind(|| {
+            let mut occ = Occupancy::new(&mrrg);
+            let _ = router.route_fanout(&mut occ, &bad, &UnitCost);
+        })
+        .is_err());
+        // One feasible and one impossible branch: the call fails, and no
+        // claims are left behind.
+        let reqs = [
+            req(1, pe(&cgra, 0, 0), 1, pe(&cgra, 0, 1), 2),
+            req(1, pe(&cgra, 0, 0), 1, pe(&cgra, 2, 3), 0), // backwards
+        ];
+        let e = router.route_fanout(&mut occ, &reqs, &UnitCost).unwrap_err();
+        assert!(matches!(e, RouteError::NegativeLength { .. }));
+        assert_eq!(occ.used_cells(), 0);
     }
 
     #[test]
